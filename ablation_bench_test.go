@@ -1,0 +1,234 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// bench evaluates a reference design with one mechanism swapped or removed
+// and reports the delta as custom metrics.
+package mnsim
+
+import (
+	"math"
+	"testing"
+
+	"mnsim/internal/accuracy"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/periph"
+	"mnsim/internal/tech"
+)
+
+// BenchmarkAblationDecoder compares the computation-oriented decoder of
+// Fig. 4(b) against the memory-oriented one: the NOR row costs area and one
+// gate delay, the price of selecting all rows in one COMPUTE.
+func BenchmarkAblationDecoder(b *testing.B) {
+	n := tech.MustNode(45)
+	for i := 0; i < b.N; i++ {
+		mem, err := periph.Decoder(n, 128, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, err := periph.Decoder(n, 128, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(comp.Area/mem.Area, "area_x")
+			b.ReportMetric(comp.Latency/mem.Latency, "latency_x")
+			b.ReportMetric(comp.DynamicEnergy/mem.DynamicEnergy, "compute_energy_x")
+		}
+	}
+}
+
+// BenchmarkAblationSignedMapping compares the two signed-weight mappings of
+// Section III.C.1: two crossbars merged by subtractors versus paired
+// columns in one crossbar.
+func BenchmarkAblationSignedMapping(b *testing.B) {
+	layer := []LayerDims{{Rows: 2048, Cols: 1024, Passes: 1}}
+	for i := 0; i < b.N; i++ {
+		two := largeBankDesign()
+		two.TwoCrossbarSigned = true
+		same := largeBankDesign()
+		same.TwoCrossbarSigned = false
+		aTwo, err := Build(&two, layer, [2]int{128, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aSame, err := Build(&same, layer, [2]int{128, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rTwo, err := aTwo.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rSame, err := aSame.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rSame.AreaMM2/rTwo.AreaMM2, "same/two_area_x")
+			b.ReportMetric(rSame.EnergyPerSample/rTwo.EnergyPerSample, "same/two_energy_x")
+			b.ReportMetric(float64(aSame.TotalCrossbars())/float64(aTwo.TotalCrossbars()), "same/two_xbars_x")
+		}
+	}
+}
+
+// BenchmarkAblationNonlinearTerm removes the non-linear I–V term from the
+// accuracy model (Vc → ∞) and reports the small-crossbar error with and
+// without it: without the term the U-shape collapses into a monotone curve.
+func BenchmarkAblationNonlinearTerm(b *testing.B) {
+	wire := tech.MustInterconnect(45)
+	for i := 0; i < b.N; i++ {
+		full := device.RRAM()
+		linearDev := device.RRAM()
+		linearDev.NonlinearVc = 1e9
+		eFull, err := accuracy.Eval(crossbar.New(8, 8, full, wire))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eLin, err := accuracy.Eval(crossbar.New(8, 8, linearDev, wire))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(eFull.Worst*100, "size8_err%_full")
+			b.ReportMetric(eLin.Worst*100, "size8_err%_linear")
+			// The linear-device model must lose the small-size penalty.
+			if eLin.Worst >= eFull.Worst {
+				b.Fatalf("removing the non-linear term should shrink the size-8 error: %v vs %v", eLin.Worst, eFull.Worst)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationVariation sweeps the device-variation sigma of Eq. 16.
+func BenchmarkAblationVariation(b *testing.B) {
+	p := crossbar.New(64, 64, device.RRAM(), tech.MustInterconnect(45))
+	for i := 0; i < b.N; i++ {
+		for _, sigma := range []float64{0, 0.1, 0.2, 0.3} {
+			e, err := accuracy.EvalWithVariation(p, sigma)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(e.Worst*100, "err%_sigma"+fmtSigma(sigma))
+			}
+		}
+	}
+}
+
+func fmtSigma(s float64) string {
+	switch s {
+	case 0:
+		return "0"
+	case 0.1:
+		return "10"
+	case 0.2:
+		return "20"
+	default:
+		return "30"
+	}
+}
+
+// BenchmarkAblationAdderTree compares the binary adder tree of Fig. 1(c)
+// against a single sequential accumulator over the same operand count.
+func BenchmarkAblationAdderTree(b *testing.B) {
+	n := tech.MustNode(45)
+	const inputs, bits = 16, 8
+	for i := 0; i < b.N; i++ {
+		tree, err := periph.AdderTree(n, inputs, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adder, err := periph.Adder(n, bits+4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sequential := adder.Repeat(inputs - 1)
+		if i == 0 {
+			b.ReportMetric(tree.Latency/sequential.Latency, "tree/seq_latency_x")
+			b.ReportMetric(tree.Area/sequential.Area, "tree/seq_area_x")
+			if tree.Latency >= sequential.Latency {
+				b.Fatal("the adder tree should be faster than sequential accumulation")
+			}
+			if tree.Area <= sequential.Area {
+				b.Fatal("the adder tree should cost more area than one adder")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationLineBuffer compares the Fig. 1(f) pooling line buffer
+// against buffering the full pre-pooling frame.
+func BenchmarkAblationLineBuffer(b *testing.B) {
+	n := tech.MustNode(45)
+	const frameW, frameH, poolK, bits = 112, 112, 2, 8
+	for i := 0; i < b.N; i++ {
+		line, err := periph.LineBuffer(n, frameW*(poolK-1)+poolK, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, err := periph.Register(n, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame := full.Scale(frameW * frameH)
+		if i == 0 {
+			b.ReportMetric(frame.Area/line.Area, "fullframe/line_area_x")
+			if frame.Area <= line.Area {
+				b.Fatal("the line buffer should be far smaller than a full frame")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationInnerPipeline toggles the ISAAC-style inner-layer
+// pipeline (the paper's future-work feature) on the VGG-16 conv1_2 bank.
+func BenchmarkAblationInnerPipeline(b *testing.B) {
+	layer := []LayerDims{{Rows: 576, Cols: 64, Passes: 224 * 224, PoolK: 2}}
+	for i := 0; i < b.N; i++ {
+		plain := largeBankDesign()
+		plain.Neuron = periph.NeuronReLU
+		piped := plain
+		piped.InnerPipeline = true
+		aPlain, err := Build(&plain, layer, [2]int{128, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		aPiped, err := Build(&piped, layer, [2]int{128, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rPlain, err := aPlain.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rPiped, err := aPiped.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			speed := rPlain.SampleLatency / rPiped.SampleLatency
+			b.ReportMetric(speed, "sample_speedup_x")
+			b.ReportMetric(rPiped.AreaMM2/rPlain.AreaMM2, "area_x")
+			if speed <= 1 {
+				b.Fatal("the inner pipeline should raise streaming throughput")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMergedError quantifies the 1/sqrt(Q) average-case merge
+// credit (the documented model choice for adder-tree statistics).
+func BenchmarkAblationMergedError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := accuracy.VoltageError{Worst: 0.08, Avg: 0.02}
+		m := accuracy.Merged(e, 16)
+		if i == 0 {
+			b.ReportMetric(m.Avg/e.Avg, "avg_credit_x")
+			if math.Abs(m.Avg/e.Avg-0.25) > 1e-12 {
+				b.Fatal("1/sqrt(16) credit expected")
+			}
+			if m.Worst != e.Worst {
+				b.Fatal("worst case must take no credit")
+			}
+		}
+	}
+}

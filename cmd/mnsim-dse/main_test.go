@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLargeBank(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "largebank", 0.25, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Large Computation Bank",
+		"Design space exploration",
+		"Crossbar Size",
+		"Trade-off vs crossbar size",
+		"Normalized performance factors",
+		"parallelism degree",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunVGG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("VGG sweep is slower")
+	}
+	var sb strings.Builder
+	if err := run(&sb, "vgg16", 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Deep CNN (VGG-16)") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(sb.String(), "error limit 50%") {
+		t.Error("default error limit not applied")
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "zebra", 0, ""); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}
+
+func TestRunImpossibleConstraint(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "largebank", 1e-9, ""); err == nil {
+		t.Fatal("infeasible constraint should fail")
+	}
+}
+
+func TestRunCSVOut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cands.csv")
+	var sb strings.Builder
+	if err := run(&sb, "largebank", 0.25, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "crossbar_size,parallelism,wire_node_nm") {
+		t.Errorf("CSV header missing:\n%.200s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 100 {
+		t.Errorf("CSV has only %d lines", lines)
+	}
+	// An unwritable path fails.
+	if err := run(&sb, "largebank", 0.25, filepath.Join(dir, "no", "dir", "x.csv")); err == nil {
+		t.Error("unwritable CSV path accepted")
+	}
+}

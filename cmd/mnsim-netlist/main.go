@@ -1,0 +1,81 @@
+// Command mnsim-netlist exports a memristor crossbar as a SPICE netlist for
+// external circuit-level simulators (Section IV.A: "MNSIM can generate the
+// netlist file for circuit-level simulators like SPICE"). Weights are drawn
+// from a seeded uniform level population; inputs are driven at full scale.
+//
+// Usage:
+//
+//	mnsim-netlist -size 32 -node 45 [-linear] [-out crossbar.sp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mnsim/internal/circuit"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/tech"
+)
+
+func main() {
+	size := flag.Int("size", 32, "crossbar dimension")
+	node := flag.Int("node", 45, "interconnect technology node (nm)")
+	model := flag.String("device", "RRAM", "memristor model (RRAM or PCM)")
+	linear := flag.Bool("linear", false, "emit linear resistor cells instead of sinh sources")
+	out := flag.String("out", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 1, "random seed for the weight population")
+	flag.Parse()
+	if err := run(os.Stdout, *size, *node, *model, *linear, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim-netlist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(defaultOut io.Writer, size, node int, model string, linear bool, out string, seed int64) error {
+	if size < 1 {
+		return fmt.Errorf("invalid size %d", size)
+	}
+	dev, err := device.ByName(model)
+	if err != nil {
+		return err
+	}
+	wire, err := tech.Interconnect(node)
+	if err != nil {
+		return err
+	}
+	p := crossbar.New(size, size, dev, wire)
+	rng := rand.New(rand.NewSource(seed))
+	r := make([][]float64, size)
+	for i := range r {
+		r[i] = make([]float64, size)
+		for j := range r[i] {
+			res, err := dev.LevelResistance(rng.Intn(dev.Levels()))
+			if err != nil {
+				return err
+			}
+			r[i][j] = res
+		}
+	}
+	c := &circuit.Crossbar{
+		M: size, N: size, R: r,
+		WireR: wire.SegmentR, RSense: p.RSense, Dev: dev, Linear: linear,
+	}
+	vin := make([]float64, size)
+	for i := range vin {
+		vin[i] = p.VDrive
+	}
+	w := defaultOut
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return c.WriteNetlist(w, vin)
+}

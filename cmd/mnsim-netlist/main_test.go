@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToWriter(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 4, 45, "RRAM", false, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	deck := sb.String()
+	for _, want := range []string{"MNSIM-Go crossbar netlist 4x4", "Vin0", "Gcell_3_3", ".end"} {
+		if !strings.Contains(deck, want) {
+			t.Errorf("deck missing %q", want)
+		}
+	}
+}
+
+func TestRunLinearToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "xbar.sp")
+	var sb strings.Builder
+	if err := run(&sb, 3, 28, "PCM", true, path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("file mode should not write to the default writer")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Rcell_0_0") {
+		t.Error("linear deck missing Rcell elements")
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(&a, 4, 45, "RRAM", false, "", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, 4, 45, "RRAM", false, "", 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed should reproduce the deck")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 45, "RRAM", false, "", 1); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if err := run(&sb, 4, 77, "RRAM", false, "", 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := run(&sb, 4, 45, "FeFET", false, "", 1); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run(&sb, 4, 45, "RRAM", false, filepath.Join(t.TempDir(), "no", "such", "dir", "x.sp"), 1); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable3AndFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("circuit-level solves are slow")
+	}
+	var sb strings.Builder
+	// Keep the sweep small: sizes up to 32 only.
+	if err := run(&sb, false, true, true, 32, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table III", "Speed-Up", "Fig. 5", "fit RMSE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Table II:") {
+		t.Error("Table II should not run when disabled")
+	}
+	if strings.Contains(out, "128") && strings.Contains(out, "Crossbar Size  128") {
+		t.Error("maxsize filter ignored")
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeConfig(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "acc.cfg")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodConfig = `
+Network_Type = ANN
+Network_Scale = 128x128, 128x10
+Crossbar_Size = 128
+CMOS_Tech = 45
+Interconnect_Tech = 45
+`
+
+func TestRunTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, writeConfig(t, goodConfig), false, false, false, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Accelerator report", "Banks (network depth)", "2",
+		"Per-bank breakdown", "128x128", "Largest bank area breakdown", "adc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, writeConfig(t, goodConfig), true, false, false, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Metric,Value") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "---") {
+		t.Error("CSV output should not contain table rules")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, filepath.Join(t.TempDir(), "missing.cfg"), false, false, false, 0.25); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := run(&sb, writeConfig(t, "Crossbar_Size = nope\n"), false, false, false, 0.25); err == nil {
+		t.Error("bad config accepted")
+	}
+	// Valid parse but unknown tech node fails at design resolution.
+	if err := run(&sb, writeConfig(t, "Network_Scale = 8x8\nCMOS_Tech = 77\n"), false, false, false, 0.25); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, writeConfig(t, goodConfig), false, true, false, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# MNSIM configuration", "Crossbar_Size = 128", "Network_Scale = 128x128, 128x10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestRunOptimize(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, writeConfig(t, goodConfig), false, false, true, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Optimal designs over", "Accuracy", "Crossbar"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("optimize output missing %q", want)
+		}
+	}
+	// An impossible constraint fails loudly.
+	if err := run(&sb, writeConfig(t, goodConfig), false, false, true, 1e-9); err == nil {
+		t.Error("infeasible constraint accepted")
+	}
+}

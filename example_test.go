@@ -1,0 +1,76 @@
+package mnsim_test
+
+import (
+	"fmt"
+	"strings"
+
+	"mnsim"
+)
+
+// ExampleSimulate runs the full software flow on a small configuration.
+func ExampleSimulate() {
+	cfg := mnsim.DefaultConfig()
+	cfg.NetworkScale = []mnsim.LayerShape{{Rows: 128, Cols: 128}, {Rows: 128, Cols: 10}}
+	cfg.CMOSTech = 45
+	cfg.InterconnectTech = 45
+	rep, err := mnsim.Simulate(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("banks: %d, area positive: %v, error in (0,1): %v\n",
+		len(cfg.NetworkScale), rep.AreaMM2 > 0, rep.ErrorWorst > 0 && rep.ErrorWorst < 1)
+	// Output: banks: 2, area positive: true, error in (0,1): true
+}
+
+// ExampleParseConfig reads the paper's Table I key = value format.
+func ExampleParseConfig() {
+	cfg, err := mnsim.ParseConfig(strings.NewReader(`
+Network_Type  = CNN
+Network_Scale = 1152x256
+Crossbar_Size = 64
+`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(cfg.NetworkType, cfg.CrossbarSize, cfg.NetworkScale[0].Rows)
+	// Output: CNN 64 1152
+}
+
+// ExampleExplore sweeps a small design space and picks the energy optimum.
+func ExampleExplore() {
+	cfg := mnsim.DefaultConfig()
+	cfg.NetworkScale = []mnsim.LayerShape{{Rows: 512, Cols: 512}}
+	cfg.CMOSTech = 45
+	d, layers, err := mnsim.DesignFromConfig(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cands, err := mnsim.Explore(d, layers, mnsim.Space{
+		CrossbarSizes: []int{64, 128},
+		Parallelisms:  []int{1, 128},
+		WireNodes:     []int{45},
+	}, mnsim.ExploreOptions{ErrorLimit: 0.25})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	best := mnsim.Best(cands, mnsim.MinEnergy)
+	fmt.Printf("%d candidates, energy-optimal crossbar %d\n", len(cands), best.CrossbarSize)
+	// Output: 3 candidates, energy-optimal crossbar 128
+}
+
+// ExampleVGG16 inspects the deep-CNN case-study workload.
+func ExampleVGG16() {
+	net := mnsim.VGG16()
+	dims, err := net.Dims()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s: %d banks, conv1 weights %dx%d\n",
+		net.Name, len(dims), dims[0].Rows, dims[0].Cols)
+	// Output: VGG-16: 16 banks, conv1 weights 27x64
+}

@@ -1,0 +1,87 @@
+// Accuracy demonstrates the behaviour-level computing-accuracy model
+// against the built-in circuit-level solver: the error-versus-size U-curve
+// of Table V, the digital deviation of Eq. 12–14, device variation
+// (Eq. 16), and a functional inference with injected crossbar error.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mnsim/internal/accuracy"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/nn"
+	"mnsim/internal/tech"
+)
+
+func main() {
+	dev := device.RRAM()
+	wire := tech.MustInterconnect(45)
+
+	fmt.Println("worst-case output error rate vs crossbar size (45nm wires):")
+	for _, size := range []int{8, 16, 32, 64, 128, 256} {
+		p := crossbar.New(size, size, dev, wire)
+		e, err := accuracy.Eval(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corner, err := accuracy.WorstCaseColumn(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  size %4d: bound %6.2f%%  signed corner %+6.2f%%  avg %+6.2f%%\n",
+			size, e.Worst*100, corner*100, e.Avg*100)
+	}
+
+	// Eq. 12-14: the paper's worked example (k=64 levels, eps=10%).
+	fmt.Println("\ndigital deviation at k=64, eps=10% (the paper's example):")
+	fmt.Printf("  max deviation: %d LSB (63 read as %d)\n",
+		accuracy.MaxDigitalDeviation(0.10, 64), 63-accuracy.MaxDigitalDeviation(0.10, 64))
+	fmt.Printf("  max error rate: %.4f, avg error rate: %.4f\n",
+		accuracy.MaxErrorRate(0.10, 64), accuracy.AvgErrorRate(0.10, 64))
+
+	// Eq. 16: device variation sweep.
+	fmt.Println("\ndevice variation sweep (64x64 crossbar):")
+	p := crossbar.New(64, 64, dev, wire)
+	for _, sigma := range []float64{0, 0.1, 0.2, 0.3} {
+		e, err := accuracy.EvalWithVariation(p, sigma)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sigma %.0f%%: worst %6.2f%%\n", sigma*100, e.Worst*100)
+	}
+
+	// Functional inference with the model's error rate injected — the
+	// JPEG-style approximate-computing application of Section VII.A.
+	rng := rand.New(rand.NewSource(7))
+	net, err := nn.RandomFCNet("jpeg", rng, 64, 16, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := accuracy.EvalLayer(crossbar.New(64, 64, dev, wire), 64, 64, 256, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := make([]float64, 64)
+	for i := range input {
+		input[i] = rng.Float64()
+	}
+	opt := nn.ForwardOptions{DataBits: 8, WeightBits: 4, Act: nn.Sigmoid}
+	ideal, err := net.Forward(input, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.Deviate = nn.UniformDeviation(rep.Eps.Worst, rng)
+	got, err := net.Forward(input, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := nn.RelativeAccuracy(ideal, got)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n64-16-64 network with eps=%.2f%% injected per layer: relative accuracy %.2f%%\n",
+		rep.Eps.Worst*100, acc*100)
+}

@@ -1,0 +1,66 @@
+// Largebank reproduces the Section VII.C case study interactively: a
+// 2048×1024 fully-connected layer explored over crossbar size, parallelism
+// degree, and interconnect node, printing the per-target optima (Table IV)
+// and the error/area/energy trade-off versus crossbar size (Table V).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnsim"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/device"
+	"mnsim/internal/periph"
+	"mnsim/internal/tech"
+)
+
+func main() {
+	base := mnsim.Design{
+		CrossbarSize:      128,
+		WeightPolarity:    2,
+		TwoCrossbarSigned: true,
+		WeightBits:        4, // 4-bit signed weights (Section VII.C)
+		DataBits:          8, // 8-bit signals
+		CMOS:              tech.MustNode(45),
+		Wire:              tech.MustInterconnect(45),
+		Dev:               device.RRAM(),
+		ADC:               periph.ADCVariableSA,
+		Neuron:            periph.NeuronSigmoid,
+		AreaCoefficient:   arch.DefaultAreaCoefficient,
+	}
+	layer := []mnsim.LayerDims{{Rows: 2048, Cols: 1024, Passes: 1}}
+
+	cands, err := mnsim.Explore(base, layer, mnsim.DefaultSpace(),
+		mnsim.ExploreOptions{ErrorLimit: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("large computation bank: %d designs explored\n\n", len(cands))
+
+	fmt.Println("optimal design per target (Table IV):")
+	for _, obj := range mnsim.Objectives() {
+		c := mnsim.Best(cands, obj)
+		fmt.Printf("  %-8s -> crossbar %4d, p %3d, %2dnm wires: %8.3f mm2, %9.3g J, %9.3g s, err %5.2f%%\n",
+			obj, c.CrossbarSize, c.Parallelism, c.WireNode,
+			c.Report.AreaMM2, c.Report.EnergyPerSample, c.Report.PipelineCycle,
+			c.Report.ErrorWorst*100)
+	}
+
+	fmt.Println("\nerror/area/energy trade-off vs crossbar size (Table V):")
+	for _, size := range []int{256, 128, 64, 32, 16, 8} {
+		var best *mnsim.Candidate
+		for i := range cands {
+			c := &cands[i]
+			if c.CrossbarSize == size && (best == nil || c.Report.ErrorWorst < best.Report.ErrorWorst) {
+				best = c
+			}
+		}
+		if best == nil {
+			continue
+		}
+		fmt.Printf("  size %4d: error %5.2f%%  area %8.3f mm2  energy %9.3g J\n",
+			size, best.Report.ErrorWorst*100, best.Report.AreaMM2, best.Report.EnergyPerSample)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate a small 3-layer fully-connected accelerator with the
+// Table I default configuration and print its report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnsim"
+)
+
+func main() {
+	cfg := mnsim.DefaultConfig()
+	cfg.NetworkScale = []mnsim.LayerShape{
+		{Rows: 784, Cols: 256}, // e.g. a 28×28-image classifier
+		{Rows: 256, Cols: 128},
+		{Rows: 128, Cols: 10},
+	}
+	cfg.CMOSTech = 45
+	cfg.InterconnectTech = 45
+
+	rep, err := mnsim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MNSIM quickstart — 784-256-128-10 fully-connected ANN")
+	fmt.Printf("  area:              %.3f mm2\n", rep.AreaMM2)
+	fmt.Printf("  power:             %.3f W\n", rep.Power)
+	fmt.Printf("  energy per sample: %.3g J\n", rep.EnergyPerSample)
+	fmt.Printf("  sample latency:    %.3g s\n", rep.SampleLatency)
+	fmt.Printf("  pipeline cycle:    %.3g s\n", rep.PipelineCycle)
+	fmt.Printf("  output error:      %.2f%% worst, %.2f%% avg\n",
+		rep.ErrorWorst*100, rep.ErrorAvg*100)
+
+	// The same configuration can be explored instead of point-simulated:
+	d, layers, err := mnsim.DesignFromConfig(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands, err := mnsim.Explore(d, layers, mnsim.Space{
+		CrossbarSizes: []int{64, 128, 256},
+		Parallelisms:  []int{1, 16, 128},
+		WireNodes:     []int{45, 28},
+	}, mnsim.ExploreOptions{ErrorLimit: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := mnsim.Best(cands, mnsim.MinEnergy)
+	fmt.Printf("\nenergy-optimal design of %d explored: crossbar %d, p=%d, %dnm wires (%.3g J/sample)\n",
+		len(cands), best.CrossbarSize, best.Parallelism, best.WireNode, best.Report.EnergyPerSample)
+}

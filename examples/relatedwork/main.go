@@ -1,0 +1,63 @@
+// Relatedwork reproduces the Section VII.E scalability case studies: the
+// PRIME FF-subarray (reference modules, customized connection) and the
+// ISAAC tile (imported module costs, 22-stage inner pipeline) — Table VII.
+// As the paper notes, the two rows are not comparable: the evaluated
+// network scales differ.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnsim"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/custom"
+	"mnsim/internal/device"
+	"mnsim/internal/periph"
+	"mnsim/internal/tech"
+)
+
+func main() {
+	prime, err := mnsim.SimulatePRIME()
+	if err != nil {
+		log.Fatal(err)
+	}
+	isaac, err := mnsim.SimulateISAAC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table VII: simulation of PRIME and ISAAC")
+	fmt.Println("work    CMOS   area(mm2)  energy/task  latency     accuracy")
+	for _, r := range []mnsim.CaseStudy{prime, isaac} {
+		fmt.Printf("%-6s  %2dnm   %8.3f  %9.3g J  %8.3g s  %6.2f%%\n",
+			r.Name, r.CMOSTech, r.AreaMM2, r.EnergyPerTask, r.Latency, r.Accuracy*100)
+	}
+	fmt.Println("\n(the two rows evaluate different network scales and are not comparable)")
+
+	// The third customization example of Fig. 2: the heterogeneous system
+	// of Liu et al. where the accelerator computes only the synapse
+	// function and the CPU handles the rest.
+	d := &arch.Design{
+		CrossbarSize:      128,
+		WeightPolarity:    2,
+		TwoCrossbarSigned: true,
+		WeightBits:        4,
+		DataBits:          8,
+		CMOS:              tech.MustNode(65),
+		Wire:              tech.MustInterconnect(45),
+		Dev:               device.RRAM(),
+		ADC:               periph.ADCVariableSA,
+		Neuron:            periph.NeuronSigmoid,
+		AreaCoefficient:   arch.DefaultAreaCoefficient,
+	}
+	het, err := custom.NewSynapseOnly(d, arch.LayerDims{Rows: 1024, Cols: 512, Passes: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFig. 2(c) heterogeneous customization (synapse-only accelerator, 1024x512 layer):\n")
+	fmt.Printf("  accelerator part: %.3f mm2, %.3g s/pass (full bank: %.3f mm2, %.3g s)\n",
+		het.Perf.Area*1e-6, het.Perf.Latency,
+		het.Bank.PassPerf.Area*1e-6, het.Bank.PassPerf.Latency)
+	fmt.Printf("  %d bits per pass shipped to the CPU for the neuron function\n", het.CPUTransferBits)
+}

@@ -1,0 +1,83 @@
+// Vgg16 maps the 16-layer VGG network onto a memristor accelerator (the
+// Section VII.D deep-CNN case study), prints the per-bank mapping (units,
+// crossbars, line buffers), and evaluates the pipelined accelerator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnsim"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/device"
+	"mnsim/internal/periph"
+	"mnsim/internal/pipesim"
+	"mnsim/internal/tech"
+)
+
+func main() {
+	net := mnsim.VGG16()
+	layers, err := net.Dims()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d neuromorphic layers -> %d computation banks\n\n",
+		net.Name, net.NeuromorphicLayers(), len(layers))
+
+	d := mnsim.Design{
+		CrossbarSize:      128, // the paper's area/energy/latency optimum
+		Parallelism:       64,
+		WeightPolarity:    2,
+		TwoCrossbarSigned: true,
+		WeightBits:        8,
+		DataBits:          8,
+		CMOS:              tech.MustNode(45),
+		Wire:              tech.MustInterconnect(90),
+		Dev:               device.RRAM(),
+		ADC:               periph.ADCVariableSA,
+		Neuron:            periph.NeuronReLU,
+		AreaCoefficient:   arch.DefaultAreaCoefficient,
+	}
+	a, err := mnsim.Build(&d, layers, [2]int{128, 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bank  weights        passes  pool  units  linebuf")
+	for i, b := range a.Banks {
+		fmt.Printf("%4d  %5dx%-5d  %6d  %4d  %5d  %7d\n",
+			i, b.Layer.Rows, b.Layer.Cols, b.Layer.Passes, b.Layer.PoolK,
+			b.Units, b.Layer.OutBufLen)
+	}
+
+	rep, err := a.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal: %d units, %d crossbars\n", a.TotalUnits(), a.TotalCrossbars())
+	fmt.Printf("area %.1f mm2, power %.1f W, %.3g J/sample\n",
+		rep.AreaMM2, rep.Power, rep.EnergyPerSample)
+	fmt.Printf("pipeline cycle %.3g s, sample latency %.3g s\n",
+		rep.PipelineCycle, rep.SampleLatency)
+	fmt.Printf("accumulated output error: %.2f%% worst, %.2f%% avg\n",
+		rep.ErrorWorst*100, rep.ErrorAvg*100)
+
+	// Deployment cost: programming all weights once through the controller.
+	ctl := mnsim.Controller{Accel: a}
+	prog := arch.ProgramNetwork(a)
+	st, err := ctl.Run(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one-time weight programming: %.3g s, %.3g J (%d WRITE instructions)\n",
+		st.Time, st.Energy, st.Instructions)
+
+	// Discrete-event check of the pipeline: stream a small batch and see
+	// which bank bottlenecks and how close the analytic cycle is.
+	ps, err := pipesim.Run(a, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline simulation (16 samples): interval %.3g s (analytic %.3g s), bottleneck bank %d at %.0f%% utilisation\n",
+		ps.SampleInterval, ps.AnalyticCycle, ps.Bottleneck, ps.Utilisation[ps.Bottleneck]*100)
+}

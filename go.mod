@@ -1,0 +1,3 @@
+module mnsim
+
+go 1.22

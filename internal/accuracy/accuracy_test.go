@@ -1,0 +1,355 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/tech"
+)
+
+func refParams(size int, node int) crossbar.Params {
+	return crossbar.New(size, size, device.RRAM(), tech.MustInterconnect(node))
+}
+
+func TestEvalRejectsInvalid(t *testing.T) {
+	p := refParams(8, 45)
+	p.Rows = 0
+	if _, err := Eval(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// Worst-case error grows with the interconnect resistance at fixed size
+// (the Fig. 5 family of curves): smaller technology node -> larger r ->
+// larger error.
+func TestWorstErrorGrowsWithWireResistance(t *testing.T) {
+	prev := -math.MaxFloat64
+	for _, node := range []int{90, 45, 28, 18} {
+		e, err := Eval(refParams(128, node))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Worst <= prev {
+			t.Fatalf("node %d: worst error %v not above previous %v", node, e.Worst, prev)
+		}
+		prev = e.Worst
+	}
+}
+
+// The error-versus-size curve must be U-shaped in magnitude: large crossbars
+// suffer interconnect loss, small crossbars suffer the non-linear I–V
+// deviation (Table V and its discussion in Section VII.C.2).
+func TestErrorUShapeInSize(t *testing.T) {
+	sizes := []int{8, 16, 32, 64, 128, 256}
+	var mags []float64
+	for _, s := range sizes {
+		e, err := Eval(refParams(s, 45))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mags = append(mags, math.Abs(e.Worst))
+	}
+	minIdx := 0
+	for i, m := range mags {
+		if m < mags[minIdx] {
+			minIdx = i
+		}
+	}
+	if sizes[minIdx] < 32 || sizes[minIdx] > 128 {
+		t.Fatalf("error minimum at size %d (mags %v), want a mid size", sizes[minIdx], mags)
+	}
+	if mags[0] <= mags[minIdx] || mags[len(mags)-1] <= mags[minIdx] {
+		t.Fatalf("curve not U-shaped: %v", mags)
+	}
+	// The signed single-corner value exposes the two mechanisms: at size 8
+	// the non-linear overshoot dominates (negative — output above ideal),
+	// at size 256 the interconnect loss dominates (positive).
+	e8, err := WorstCaseColumn(refParams(8, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e8 >= 0 {
+		t.Errorf("size-8 corner error %v should be negative (non-linear overshoot)", e8)
+	}
+	e256, err := WorstCaseColumn(refParams(256, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e256 <= 0 {
+		t.Errorf("size-256 corner error %v should be positive (interconnect loss)", e256)
+	}
+	// The adversarial bound dominates the signed corner everywhere.
+	for _, s := range sizes {
+		e, _ := Eval(refParams(s, 45))
+		c, _ := WorstCaseColumn(refParams(s, 45))
+		if e.Worst < math.Abs(c)-1e-12 {
+			t.Errorf("size %d: bound %v below corner %v", s, e.Worst, c)
+		}
+	}
+}
+
+func TestWorstCaseColumnRejectsInvalid(t *testing.T) {
+	p := refParams(8, 45)
+	p.Rows = 0
+	if _, err := WorstCaseColumn(p); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// Average-case magnitude is far below worst case at large sizes.
+func TestAvgBelowWorstAtLargeSize(t *testing.T) {
+	e, err := Eval(refParams(256, 28))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Avg) >= math.Abs(e.Worst) {
+		t.Fatalf("avg %v not below worst %v", e.Avg, e.Worst)
+	}
+}
+
+func TestWireTerm(t *testing.T) {
+	if got := WireTerm(4, 2, 0.5); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("WireTerm(4,2,0.5) = %v, want 5", got)
+	}
+	if WireTerm(64, 64, 0.5) >= WireTerm(128, 128, 0.5) {
+		t.Fatal("wire term must grow with size")
+	}
+}
+
+func TestEvalWithVariation(t *testing.T) {
+	p := refParams(64, 45)
+	base, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withVar, err := EvalWithVariation(p, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(withVar.Worst) <= math.Abs(base.Worst) {
+		t.Errorf("variation should enlarge worst error: %v vs %v", withVar.Worst, base.Worst)
+	}
+	if math.Abs(withVar.Avg) <= math.Abs(base.Avg) {
+		t.Errorf("variation should enlarge avg error: %v vs %v", withVar.Avg, base.Avg)
+	}
+	// Sigma 0 reproduces the noise-free result exactly.
+	zero, err := EvalWithVariation(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != base {
+		t.Errorf("sigma=0 differs from Eval: %+v vs %+v", zero, base)
+	}
+	if _, err := EvalWithVariation(p, -0.1); err == nil {
+		t.Error("negative sigma should fail")
+	}
+	if _, err := EvalWithVariation(p, 0.9); err == nil {
+		t.Error("huge sigma should fail")
+	}
+	bad := p
+	bad.Rows = 0
+	if _, err := EvalWithVariation(bad, 0.1); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+// Variation monotonicity: larger sigma, larger worst-case error (Eq. 16).
+func TestVariationMonotone(t *testing.T) {
+	p := refParams(64, 45)
+	prev := -1.0
+	for _, sigma := range []float64{0, 0.1, 0.2, 0.3} {
+		e, err := EvalWithVariation(p, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e.Worst) < prev {
+			t.Fatalf("sigma %v: worst %v below previous %v", sigma, e.Worst, prev)
+		}
+		prev = math.Abs(e.Worst)
+	}
+}
+
+func TestMerged(t *testing.T) {
+	e := VoltageError{Worst: 0.1, Avg: 0.04}
+	m := Merged(e, 16)
+	if m.Worst != 0.1 {
+		t.Errorf("worst should not take merge credit: %v", m.Worst)
+	}
+	if math.Abs(m.Avg-0.01) > 1e-12 {
+		t.Errorf("avg = %v, want 0.01 (1/sqrt(16) reduction)", m.Avg)
+	}
+	if got := Merged(e, 0); got != e {
+		t.Errorf("Q<1 should be identity: %+v", got)
+	}
+}
+
+// The paper's worked example for Eq. 12–13: k=64, eps=10% gives a maximum
+// digital deviation of 6 LSBs, i.e. 63 can be read as 57, and a maximum
+// error rate of 6/63.
+func TestPaperExampleEq12(t *testing.T) {
+	if got := MaxDigitalDeviation(0.10, 64); got != 6 {
+		t.Fatalf("MaxDigitalDeviation(0.1, 64) = %d, want 6", got)
+	}
+	want := 6.0 / 63.0
+	if got := MaxErrorRate(0.10, 64); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxErrorRate(0.1, 64) = %v, want %v", got, want)
+	}
+}
+
+func TestDigitalDeviationEdgeCases(t *testing.T) {
+	if MaxDigitalDeviation(0.5, 1) != 0 || MaxErrorRate(0.5, 0) != 0 {
+		t.Error("k<2 should yield zero")
+	}
+	if AvgDigitalDeviation(0.5, 1) != 0 || AvgErrorRate(0.5, 1) != 0 {
+		t.Error("k<2 should yield zero (avg)")
+	}
+	// eps=0 still rounds to 0.5 LSB -> floor 0 deviation.
+	if MaxDigitalDeviation(0, 256) != 0 {
+		t.Error("zero eps should give zero deviation")
+	}
+	// Negative eps uses magnitude.
+	if MaxDigitalDeviation(-0.10, 64) != 6 {
+		t.Error("negative eps should use magnitude")
+	}
+}
+
+func TestAvgDigitalDeviation(t *testing.T) {
+	// k=4, eps=0.5: deviations floor(0+.5)=0, floor(.5+.5)=1, floor(1+.5)=1,
+	// floor(1.5+.5)=2 -> mean = 4/4 = 1.
+	if got := AvgDigitalDeviation(0.5, 4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("AvgDigitalDeviation(0.5,4) = %v, want 1", got)
+	}
+	if got := AvgErrorRate(0.5, 4); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("AvgErrorRate(0.5,4) = %v, want 1/3", got)
+	}
+	// Average deviation never exceeds the max deviation.
+	for _, eps := range []float64{0.01, 0.05, 0.1, 0.3} {
+		for _, k := range []int{16, 64, 256} {
+			if AvgDigitalDeviation(eps, k) > float64(MaxDigitalDeviation(eps, k)) {
+				t.Errorf("avg > max for eps=%v k=%d", eps, k)
+			}
+		}
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	// (1+0.1)(1+0.2)-1 = 0.32
+	if got := Propagate(0.1, 0.2); math.Abs(got-0.32) > 1e-12 {
+		t.Fatalf("Propagate = %v, want 0.32", got)
+	}
+	if got := Propagate(0, 0.2); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Propagate(0, .2) = %v", got)
+	}
+	// Propagation compounds: adding an input error can only grow the total.
+	if Propagate(0.1, 0.2) <= Propagate(0, 0.2) {
+		t.Error("propagation should compound")
+	}
+	// Signs are folded into magnitudes.
+	if Propagate(-0.1, 0.2) != Propagate(0.1, 0.2) {
+		t.Error("Propagate should use magnitudes")
+	}
+}
+
+func TestEvalLayerTiling(t *testing.T) {
+	p := refParams(128, 45)
+	rep, err := EvalLayer(p, 2048, 1024, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstRate <= 0 {
+		t.Errorf("worst rate = %v", rep.WorstRate)
+	}
+	if rep.AvgRate > rep.WorstRate {
+		t.Errorf("avg %v above worst %v", rep.AvgRate, rep.WorstRate)
+	}
+	// A layer smaller than the crossbar must be evaluated at its true size,
+	// not the crossbar's: its error matches a crossbar-sized-to-layer eval.
+	small, err := EvalLayer(p, 16, 16, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Eval(refParams(16, 45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(small.Eps.Worst-exact.Worst) > 1e-12 {
+		t.Errorf("small layer eps %v, want %v", small.Eps.Worst, exact.Worst)
+	}
+	if _, err := EvalLayer(p, 0, 4, 256, 0); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := EvalLayer(p, 4, 0, 256, 0); err == nil {
+		t.Error("zero cols should fail")
+	}
+}
+
+// An inherited input error strictly increases a layer's output error.
+func TestEvalLayerInputErrorCompounds(t *testing.T) {
+	p := refParams(128, 45)
+	clean, err := EvalLayer(p, 512, 512, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := EvalLayer(p, 512, 512, 64, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.WorstRate <= clean.WorstRate {
+		t.Fatalf("input error did not compound: %v vs %v", dirty.WorstRate, clean.WorstRate)
+	}
+}
+
+func TestEvalNetworkAccumulates(t *testing.T) {
+	p := refParams(128, 45)
+	shapes := [][2]int{{128, 128}, {128, 128}, {128, 10}}
+	reports, final, err := EvalNetwork(p, shapes, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	// Worst-path error cannot decrease across layers.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].WorstRate < reports[i-1].WorstRate {
+			t.Errorf("layer %d worst rate %v below layer %d rate %v",
+				i, reports[i].WorstRate, i-1, reports[i-1].WorstRate)
+		}
+	}
+	if final.Worst != reports[2].WorstRate || final.Avg != reports[2].AvgRate {
+		t.Error("final rates should mirror the last layer")
+	}
+	if _, _, err := EvalNetwork(p, nil, 256); err == nil {
+		t.Error("empty network should fail")
+	}
+	if _, _, err := EvalNetwork(p, [][2]int{{0, 1}}, 256); err == nil {
+		t.Error("bad layer should fail")
+	}
+}
+
+// Rectangular crossbars evaluate consistently: more columns means a longer
+// worst wire path, so the error grows with either dimension.
+func TestRectangularCrossbars(t *testing.T) {
+	dev := device.RRAM()
+	wire := tech.MustInterconnect(45)
+	square, err := Eval(crossbar.New(128, 128, dev, wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Eval(crossbar.New(128, 256, dev, wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tall, err := Eval(crossbar.New(256, 128, dev, wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Worst <= square.Worst {
+		t.Errorf("wider crossbar error %v not above square %v", wide.Worst, square.Worst)
+	}
+	if tall.Worst <= square.Worst {
+		t.Errorf("taller crossbar error %v not above square %v", tall.Worst, square.Worst)
+	}
+}

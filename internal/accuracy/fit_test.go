@@ -1,0 +1,74 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"mnsim/internal/circuit"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/tech"
+)
+
+// circuitWorstError measures the ground-truth worst-case error of the
+// farthest column with the circuit-level solver: all cells at minimum
+// resistance, full-scale inputs (the Fig. 5 experiment).
+func circuitWorstError(t *testing.T, size, node int) float64 {
+	t.Helper()
+	dev := device.RRAM()
+	p := crossbar.New(size, size, dev, tech.MustInterconnect(node))
+	r := make([][]float64, size)
+	for i := range r {
+		r[i] = make([]float64, size)
+		for j := range r[i] {
+			r[i][j] = dev.RMin
+		}
+	}
+	c := &circuit.Crossbar{M: size, N: size, R: r, WireR: p.Wire.SegmentR, RSense: p.RSense, Dev: dev}
+	vin := make([]float64, size)
+	for i := range vin {
+		vin[i] = p.VDrive
+	}
+	res, err := c.Solve(vin, circuit.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := c.IdealOut(vin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := size - 1
+	return (ideal[last] - res.VOut[last]) / ideal[last]
+}
+
+// The behaviour-level model must track the circuit-level solver across
+// crossbar sizes and interconnect nodes with an RMSE below 0.01 — the
+// fidelity the paper claims for its Eq. 11 fit (Fig. 5: "The root mean
+// squared error of this fitting curve is less than 0.01").
+func TestModelFitsCircuitRMSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("circuit-level solves are slow")
+	}
+	var sumSq float64
+	var count int
+	for _, node := range []int{90, 45, 28, 18} {
+		for _, size := range []int{8, 16, 32, 64} {
+			want := circuitWorstError(t, size, node)
+			got, err := WorstCaseColumn(crossbar.New(size, size, device.RRAM(), tech.MustInterconnect(node)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := got - want
+			sumSq += diff * diff
+			count++
+			if math.Abs(diff) > 0.02 {
+				t.Errorf("size %d node %d: model %+.4f vs circuit %+.4f", size, node, got, want)
+			}
+		}
+	}
+	rmse := math.Sqrt(sumSq / float64(count))
+	if rmse >= 0.01 {
+		t.Fatalf("model-vs-circuit RMSE = %.4f, want < 0.01", rmse)
+	}
+	t.Logf("model-vs-circuit RMSE = %.4f over %d points", rmse, count)
+}

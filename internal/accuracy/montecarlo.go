@@ -1,0 +1,117 @@
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mnsim/internal/crossbar"
+)
+
+// MCOptions tunes a Monte-Carlo accuracy run.
+type MCOptions struct {
+	// Trials is the number of random (weights, inputs, variation) samples.
+	Trials int
+	// Sigma is the per-cell resistance variation; each trial draws every
+	// cell's deviation uniformly from [-sigma, +sigma] (Eq. 16's random
+	// factor, sampled instead of worst-cased).
+	Sigma float64
+	// Rng supplies randomness; required.
+	Rng *rand.Rand
+}
+
+// MCResult summarises the sampled distribution of the column output error
+// rate.
+type MCResult struct {
+	Mean, Std float64
+	// P50, P95, P99 are percentiles of the |error| distribution.
+	P50, P95, P99 float64
+	// Max is the largest sampled |error|.
+	Max    float64
+	Trials int
+}
+
+// MonteCarlo samples the crossbar output error statistically: each trial
+// draws a random level population and random inputs, computes the exact
+// loaded analog output with deviated cell resistances (variation plus the
+// non-linear operating-point shift plus the lumped wire term), and compares
+// it against the ideal fixed-point result. Where Eval gives closed-form
+// average/worst cases, MonteCarlo gives the distribution between them —
+// the statistical extension follow-on platforms (MNSIM 2.0) added.
+func MonteCarlo(p crossbar.Params, opt MCOptions) (MCResult, error) {
+	if err := p.Validate(); err != nil {
+		return MCResult{}, err
+	}
+	if opt.Trials < 1 {
+		return MCResult{}, fmt.Errorf("accuracy: Monte-Carlo needs at least 1 trial")
+	}
+	if opt.Sigma < 0 || opt.Sigma > 0.5 {
+		return MCResult{}, fmt.Errorf("accuracy: sigma %g outside [0,0.5]", opt.Sigma)
+	}
+	if opt.Rng == nil {
+		return MCResult{}, fmt.Errorf("accuracy: Monte-Carlo needs an RNG")
+	}
+	errs := make([]float64, 0, opt.Trials)
+	gs := 1 / p.RSense
+	wire := WireTerm(p.Rows, p.Cols, p.Wire.SegmentR)
+	rIdeal := make([]float64, p.Rows)
+	vin := make([]float64, p.Rows)
+	for trial := 0; trial < opt.Trials; trial++ {
+		for i := range vin {
+			vin[i] = p.VDrive * opt.Rng.Float64()
+		}
+		// One representative column: random levels per cell.
+		numIdl, denIdl := 0.0, gs
+		numAct, denAct := 0.0, gs
+		for m := 0; m < p.Rows; m++ {
+			lvl := opt.Rng.Intn(p.Dev.Levels())
+			r, err := p.Dev.LevelResistance(lvl)
+			if err != nil {
+				return MCResult{}, err
+			}
+			rIdeal[m] = r
+			g := 1 / r
+			numIdl += g * vin[m]
+			denIdl += g
+		}
+		vIdl := numIdl / denIdl
+		// Actual: operating-point shift, variation, and the average lumped
+		// wire term shared across the column's cells.
+		for m := 0; m < p.Rows; m++ {
+			vCell := vin[m] - vIdl
+			if vCell < 0 {
+				vCell = 0
+			}
+			rAct := p.Dev.EffectiveR(vCell, rIdeal[m])
+			rAct *= 1 + opt.Sigma*(2*opt.Rng.Float64()-1)
+			rAct += wire / 2 // average cell position sees half the worst-corner wire term
+			g := 1 / rAct
+			numAct += g * vin[m]
+			denAct += g
+		}
+		vAct := numAct / denAct
+		if vIdl != 0 {
+			errs = append(errs, math.Abs((vIdl-vAct)/vIdl))
+		}
+	}
+	if len(errs) == 0 {
+		return MCResult{}, fmt.Errorf("accuracy: all trials degenerate")
+	}
+	sort.Float64s(errs)
+	res := MCResult{Trials: len(errs)}
+	sum, sumSq := 0.0, 0.0
+	for _, e := range errs {
+		sum += e
+		sumSq += e * e
+	}
+	res.Mean = sum / float64(len(errs))
+	res.Std = math.Sqrt(math.Max(0, sumSq/float64(len(errs))-res.Mean*res.Mean))
+	pct := func(q float64) float64 {
+		idx := int(q * float64(len(errs)-1))
+		return errs[idx]
+	}
+	res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+	res.Max = errs[len(errs)-1]
+	return res, nil
+}

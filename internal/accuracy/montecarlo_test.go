@@ -1,0 +1,98 @@
+package accuracy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMonteCarloBasics(t *testing.T) {
+	p := refParams(64, 45)
+	res, err := MonteCarlo(p, MCOptions{Trials: 500, Sigma: 0.1, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 500 {
+		t.Fatalf("trials = %d", res.Trials)
+	}
+	if res.Mean <= 0 || res.Std < 0 {
+		t.Fatalf("stats: %+v", res)
+	}
+	// Percentiles are ordered.
+	if !(res.P50 <= res.P95 && res.P95 <= res.P99 && res.P99 <= res.Max) {
+		t.Fatalf("percentiles out of order: %+v", res)
+	}
+}
+
+// The sampled distribution must sit between the closed-form average and the
+// adversarial worst case.
+func TestMonteCarloBracketedByModel(t *testing.T) {
+	p := refParams(64, 45)
+	model, err := Eval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MonteCarlo(p, MCOptions{Trials: 2000, Sigma: 0, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Max > model.Worst*3 {
+		t.Fatalf("sampled max %v far above the worst-case bound %v", res.Max, model.Worst)
+	}
+	if res.Mean > model.Worst {
+		t.Fatalf("sampled mean %v above the worst case %v", res.Mean, model.Worst)
+	}
+}
+
+// Variation widens the distribution.
+func TestMonteCarloVariationWidens(t *testing.T) {
+	p := refParams(64, 45)
+	tight, err := MonteCarlo(p, MCOptions{Trials: 1500, Sigma: 0, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := MonteCarlo(p, MCOptions{Trials: 1500, Sigma: 0.3, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Std <= tight.Std {
+		t.Fatalf("sigma=0.3 std %v not above sigma=0 std %v", wide.Std, tight.Std)
+	}
+	if wide.P99 <= tight.P99 {
+		t.Fatalf("sigma=0.3 p99 %v not above sigma=0 p99 %v", wide.P99, tight.P99)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	p := refParams(16, 45)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarlo(p, MCOptions{Trials: 0, Rng: rng}); err == nil {
+		t.Error("0 trials accepted")
+	}
+	if _, err := MonteCarlo(p, MCOptions{Trials: 10, Sigma: 0.9, Rng: rng}); err == nil {
+		t.Error("huge sigma accepted")
+	}
+	if _, err := MonteCarlo(p, MCOptions{Trials: 10}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := p
+	bad.Rows = 0
+	if _, err := MonteCarlo(bad, MCOptions{Trials: 10, Rng: rng}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// Determinism: the same seed reproduces the same distribution.
+func TestMonteCarloDeterministic(t *testing.T) {
+	p := refParams(32, 45)
+	a, err := MonteCarlo(p, MCOptions{Trials: 200, Sigma: 0.1, Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(p, MCOptions{Trials: 200, Sigma: 0.1, Rng: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

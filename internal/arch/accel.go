@@ -1,0 +1,130 @@
+package arch
+
+import (
+	"fmt"
+
+	"mnsim/internal/periph"
+)
+
+// Accelerator is the top hierarchy level (Section III.A, Fig. 1b): the
+// input interface, one computation bank per neuromorphic layer, and the
+// output interface. Multi-layer accelerators are pipelined, so throughput
+// is set by the slowest bank while a single sample's latency is the sum of
+// the stages (Section IV.A).
+type Accelerator struct {
+	Design *Design
+	Banks  []*Bank
+	// InIface and OutIface are the accelerator interface modules buffering
+	// a full sample over the limited bus lines.
+	InIface, OutIface periph.Perf
+}
+
+// NewAccelerator builds the module tree for the given layer stack, mirroring
+// the recursive generation of the software flow (Fig. 3). interfaceLines is
+// the paper's Interface_Number pair.
+func NewAccelerator(d *Design, layers []LayerDims, interfaceLines [2]int) (*Accelerator, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("arch: accelerator needs at least one layer")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Accelerator{Design: d}
+	for i, l := range layers {
+		b, err := NewBank(d, l)
+		if err != nil {
+			return nil, fmt.Errorf("arch: bank %d: %w", i, err)
+		}
+		a.Banks = append(a.Banks, b)
+	}
+	inBits := layers[0].Rows * d.DataBits
+	outBits := layers[len(layers)-1].Cols * d.DataBits
+	var err error
+	a.InIface, err = periph.IOInterface(d.CMOS, interfaceLines[0], inBits)
+	if err != nil {
+		return nil, err
+	}
+	a.OutIface, err = periph.IOInterface(d.CMOS, interfaceLines[1], outBits)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Report is the accelerator-level performance summary printed by the
+// simulator — the metric set of the paper's case-study tables.
+type Report struct {
+	// AreaMM2 is the total layout area in mm².
+	AreaMM2 float64
+	// EnergyPerSample is the dynamic energy of one input sample in joules.
+	EnergyPerSample float64
+	// SampleLatency is one sample's end-to-end latency in seconds.
+	SampleLatency float64
+	// PipelineCycle is the pipelined per-sample interval (the slowest
+	// bank's pass latency) in seconds.
+	PipelineCycle float64
+	// Power is the average power at full pipeline utilisation in watts.
+	Power float64
+	// ErrorWorst and ErrorAvg are the final-layer digital error rates from
+	// the behaviour-level accuracy model.
+	ErrorWorst, ErrorAvg float64
+}
+
+// Evaluate aggregates the accelerator's performance bottom-up and runs the
+// layer-by-layer accuracy propagation (Eq. 15).
+func (a *Accelerator) Evaluate() (Report, error) {
+	var r Report
+	areaUM2 := a.InIface.Area + a.OutIface.Area
+	staticPower := a.InIface.StaticPower + a.OutIface.StaticPower
+	dynPower := 0.0
+	r.SampleLatency = a.InIface.Latency + a.OutIface.Latency
+	deltaAvg, deltaWorst := 0.0, 0.0
+	for _, b := range a.Banks {
+		areaUM2 += b.PassPerf.Area
+		staticPower += b.PassPerf.StaticPower
+		r.EnergyPerSample += b.SampleEnergy
+		r.SampleLatency += b.SampleLatency
+		if b.PassPerf.Latency > r.PipelineCycle {
+			r.PipelineCycle = b.PassPerf.Latency
+		}
+		repAvg, err := b.Accuracy(deltaAvg)
+		if err != nil {
+			return Report{}, err
+		}
+		repWorst, err := b.Accuracy(deltaWorst)
+		if err != nil {
+			return Report{}, err
+		}
+		deltaAvg = repAvg.AvgRate
+		deltaWorst = repWorst.WorstRate
+	}
+	// At full pipeline utilisation every bank runs one pass per pipeline
+	// cycle.
+	for _, b := range a.Banks {
+		dynPower += b.PassPerf.DynamicEnergy / r.PipelineCycle
+	}
+	r.EnergyPerSample += a.InIface.DynamicEnergy + a.OutIface.DynamicEnergy
+	r.AreaMM2 = areaUM2 * 1e-6
+	r.Power = dynPower + staticPower
+	r.ErrorWorst = deltaWorst
+	r.ErrorAvg = deltaAvg
+	return r, nil
+}
+
+// TotalCrossbars returns the physical crossbar count of the accelerator.
+func (a *Accelerator) TotalCrossbars() int {
+	total := 0
+	for _, b := range a.Banks {
+		total += b.Units * b.Design.CrossbarsPerUnit()
+	}
+	return total
+}
+
+// TotalUnits returns the computation-unit count.
+func (a *Accelerator) TotalUnits() int {
+	total := 0
+	for _, b := range a.Banks {
+		total += b.Units
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+package arch
+
+import (
+	"sort"
+
+	"mnsim/internal/periph"
+)
+
+// ModuleClass names one class of circuit module in a breakdown.
+type ModuleClass string
+
+// Breakdown module classes.
+const (
+	ClassCrossbar ModuleClass = "crossbar"
+	ClassDAC      ModuleClass = "dac"
+	ClassADC      ModuleClass = "adc"
+	ClassDecoder  ModuleClass = "decoder"
+	ClassMerge    ModuleClass = "merge" // subtractors, shifters, adder trees
+	ClassNeuron   ModuleClass = "neuron"
+	ClassBuffer   ModuleClass = "buffer" // pooling/line/output buffers
+)
+
+// Breakdown returns the bank's area and per-pass dynamic energy split by
+// module class. It re-derives the same module set NewBank assembled, so the
+// totals reconcile with PassPerf; the read-circuit share reproduces the
+// paper's Section V.C observation that ADCs take about half of the area and
+// energy of memristor-based DNNs/CNNs.
+func (b *Bank) Breakdown() (map[ModuleClass]periph.Perf, error) {
+	d := b.Design
+	n := d.CMOS
+	u := b.Unit
+	nXbar := d.CrossbarsPerUnit()
+	out := map[ModuleClass]periph.Perf{}
+
+	// Crossbar arrays.
+	xbar := periph.Perf{
+		Area:          u.Xbar.Area() * d.AreaCoefficient * float64(nXbar),
+		DynamicEnergy: u.Xbar.ComputePower() * float64(nXbar) * (u.FrontLatency + float64(u.Cycles)*u.ReadPassLatency),
+	}
+	out[ClassCrossbar] = xbar.Scale(b.Units)
+
+	dac, err := periph.DAC(n, d.DataBits)
+	if err != nil {
+		return nil, err
+	}
+	dacs := dac.Scale(u.Rows)
+	dacs.DynamicEnergy = dac.DynamicEnergy * float64(u.Rows)
+	out[ClassDAC] = dacs.Scale(b.Units)
+
+	adc, err := periph.ADC(n, d.ADC, d.ADCBits())
+	if err != nil {
+		return nil, err
+	}
+	mux, err := periph.Mux(n, u.Cycles, 1)
+	if err != nil {
+		return nil, err
+	}
+	readPath := periph.Sum(mux, adc)
+	adcs := periph.Perf{
+		Area:          readPath.Area * float64(u.ReadCircuits*nXbar),
+		DynamicEnergy: readPath.DynamicEnergy * float64(u.ReadCircuits*nXbar*u.Cycles),
+		StaticPower:   readPath.StaticPower * float64(u.ReadCircuits*nXbar),
+	}
+	out[ClassADC] = adcs.Scale(b.Units)
+
+	rowDec, err := periph.Decoder(n, d.CrossbarSize, true)
+	if err != nil {
+		return nil, err
+	}
+	colDec, err := periph.Decoder(n, d.CrossbarSize, false)
+	if err != nil {
+		return nil, err
+	}
+	dec := periph.Parallel(rowDec.Scale(nXbar), colDec.Scale(nXbar))
+	out[ClassDecoder] = dec.Scale(b.Units)
+
+	tree, err := periph.AdderTree(n, b.RowBlocks, d.DataBits)
+	if err != nil {
+		return nil, err
+	}
+	merge := tree.Scale(maxInt(b.OutputsPerPass, 1))
+	if d.WeightPolarity == 2 {
+		sub, err := periph.Subtractor(n, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		merge = merge.Plus(sub.Scale(u.ReadCircuits * b.Units))
+	}
+	out[ClassMerge] = merge
+
+	neuron, err := periph.Neuron(n, d.Neuron, d.DataBits)
+	if err != nil {
+		return nil, err
+	}
+	neuronCount := b.Layer.Cols
+	if b.Layer.PoolK > 1 {
+		neuronCount = maxInt(b.Layer.Cols/(b.Layer.PoolK*b.Layer.PoolK), 1)
+	}
+	out[ClassNeuron] = neuron.Scale(neuronCount)
+
+	var buffers periph.Perf
+	if b.Layer.OutBufLen > 0 {
+		lb, err := periph.LineBuffer(n, b.Layer.OutBufLen, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		buffers = lb.Scale(maxInt(b.Layer.OutChannels, 1))
+	} else {
+		reg, err := periph.Register(n, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		buffers = reg.Scale(b.Layer.Cols)
+	}
+	if b.Layer.PoolK > 1 {
+		pool, err := periph.MaxPool(n, b.Layer.PoolK, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := periph.LineBuffer(n, b.Layer.PoolK*b.Layer.PoolK, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		buffers = buffers.Plus(pool.Scale(maxInt(b.OutputsPerPass/(b.Layer.PoolK*b.Layer.PoolK), 1)))
+		buffers = buffers.Plus(pb.Scale(maxInt(b.OutputsPerPass, 1)))
+	}
+	out[ClassBuffer] = buffers
+	return out, nil
+}
+
+// Classes lists the breakdown classes in presentation order.
+func Classes() []ModuleClass {
+	return []ModuleClass{ClassCrossbar, ClassDAC, ClassADC, ClassDecoder, ClassMerge, ClassNeuron, ClassBuffer}
+}
+
+// ShareOf returns the class's fraction of the breakdown's total area.
+func ShareOf(bd map[ModuleClass]periph.Perf, class ModuleClass) float64 {
+	total := 0.0
+	for _, p := range bd {
+		total += p.Area
+	}
+	if total == 0 {
+		return 0
+	}
+	return bd[class].Area / total
+}
+
+// SortedByArea returns the classes ordered by descending area.
+func SortedByArea(bd map[ModuleClass]periph.Perf) []ModuleClass {
+	classes := make([]ModuleClass, 0, len(bd))
+	for c := range bd {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return bd[classes[i]].Area > bd[classes[j]].Area })
+	return classes
+}

@@ -1,0 +1,76 @@
+package arch
+
+import (
+	"fmt"
+
+	"mnsim/internal/periph"
+)
+
+// MemoryReport summarises the same crossbar array operated as a plain
+// non-volatile memory — the Section II.C contrast between memristor NVM
+// (one cell selected per access, memory-oriented decoders) and the
+// computing structure (all cells selected, computation-oriented decoders
+// plus peripheral compute modules). It is also the NVSim-comparable view of
+// the array (Section III.E.4).
+type MemoryReport struct {
+	// CapacityBits is the stored capacity (cells × bits per cell).
+	CapacityBits int
+	// AreaMM2 is the macro area: arrays plus the memory-oriented decoders
+	// and one sense amplifier per crossbar.
+	AreaMM2 float64
+	// ReadLatency / WriteLatency are per-word access times.
+	ReadLatency, WriteLatency float64
+	// ReadEnergy / WriteEnergy are per-bit access energies.
+	ReadEnergy, WriteEnergy float64
+	// ReadBandwidth is bits per second at full streaming.
+	ReadBandwidth float64
+}
+
+// MemoryMode evaluates a memory macro built from `crossbars` arrays of the
+// design's size and device. Each array has memory-oriented row and column
+// decoders (no NOR stage) and one sense amplifier; accesses select a single
+// cell per array, wordBits arrays operating in parallel per word.
+func MemoryMode(d *Design, crossbars, wordBits int) (MemoryReport, error) {
+	if err := d.Validate(); err != nil {
+		return MemoryReport{}, err
+	}
+	if crossbars < 1 {
+		return MemoryReport{}, fmt.Errorf("arch: memory mode needs at least one crossbar")
+	}
+	if wordBits < 1 || wordBits > crossbars*d.Dev.LevelBits {
+		return MemoryReport{}, fmt.Errorf("arch: word width %d incompatible with %d arrays", wordBits, crossbars)
+	}
+	n := d.CMOS
+	xp := d.Crossbar(d.CrossbarSize, d.CrossbarSize)
+	rowDec, err := periph.Decoder(n, d.CrossbarSize, false)
+	if err != nil {
+		return MemoryReport{}, err
+	}
+	colDec, err := periph.Decoder(n, d.CrossbarSize, false)
+	if err != nil {
+		return MemoryReport{}, err
+	}
+	sa, err := periph.ADC(n, periph.ADCVariableSA, d.Dev.LevelBits)
+	if err != nil {
+		return MemoryReport{}, err
+	}
+	perArray := xp.Area()*d.AreaCoefficient + rowDec.Area + colDec.Area + sa.Area
+	rep := MemoryReport{
+		CapacityBits: crossbars * d.CrossbarSize * d.CrossbarSize * d.Dev.LevelBits,
+		AreaMM2:      perArray * float64(crossbars) * 1e-6,
+	}
+	// One access: decode row + column, settle one cell against the sense
+	// load, convert. A word reads ceil(wordBits / LevelBits) arrays in
+	// parallel, so word latency equals cell latency.
+	cellSettle := xp.Latency()
+	rep.ReadLatency = rowDec.Latency + colDec.Latency + cellSettle + sa.Latency
+	rep.WriteLatency = rowDec.Latency + colDec.Latency + d.Dev.WriteLatency
+	cellsPerWord := (wordBits + d.Dev.LevelBits - 1) / d.Dev.LevelBits
+	readEnergyPerCell := rowDec.DynamicEnergy + colDec.DynamicEnergy +
+		xp.ReadPower()/float64(d.CrossbarSize)*cellSettle + sa.DynamicEnergy
+	rep.ReadEnergy = readEnergyPerCell * float64(cellsPerWord) / float64(wordBits)
+	writeEnergyPerCell := rowDec.DynamicEnergy + colDec.DynamicEnergy + d.Dev.WriteEnergy()
+	rep.WriteEnergy = writeEnergyPerCell * float64(cellsPerWord) / float64(wordBits)
+	rep.ReadBandwidth = float64(wordBits) / rep.ReadLatency
+	return rep, nil
+}

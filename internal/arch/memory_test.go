@@ -1,0 +1,61 @@
+package arch
+
+import "testing"
+
+func TestMemoryMode(t *testing.T) {
+	d := refDesign(128, 0)
+	rep, err := MemoryMode(d, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CapacityBits != 16*128*128*d.Dev.LevelBits {
+		t.Errorf("capacity = %d", rep.CapacityBits)
+	}
+	if rep.AreaMM2 <= 0 || rep.ReadBandwidth <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	// The non-volatile asymmetry: writes far slower and costlier than reads.
+	if rep.WriteLatency <= rep.ReadLatency {
+		t.Error("write should be slower than read")
+	}
+	if rep.WriteEnergy <= rep.ReadEnergy {
+		t.Error("write should cost more than read")
+	}
+}
+
+// Section II.C: the computing structure costs more than the memory macro at
+// equal array count — the computation-oriented decoders, DACs, ADCs per
+// column group, and merge logic are all additions.
+func TestComputeCostsMoreThanMemory(t *testing.T) {
+	d := refDesign(128, 0)
+	mem, err := MemoryMode(d, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A unit holding the same two crossbars (signed pair).
+	u, err := NewUnit(d, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Compute.Area <= mem.AreaMM2*1e6 {
+		t.Errorf("compute unit area %v should exceed the 2-array memory macro %v", u.Compute.Area, mem.AreaMM2*1e6)
+	}
+}
+
+func TestMemoryModeErrors(t *testing.T) {
+	d := refDesign(128, 0)
+	if _, err := MemoryMode(d, 0, 8); err == nil {
+		t.Error("0 crossbars accepted")
+	}
+	if _, err := MemoryMode(d, 1, 0); err == nil {
+		t.Error("0-bit words accepted")
+	}
+	if _, err := MemoryMode(d, 1, 1<<20); err == nil {
+		t.Error("word wider than the macro accepted")
+	}
+	bad := refDesign(128, 0)
+	bad.WeightBits = 0
+	if _, err := MemoryMode(bad, 1, 8); err == nil {
+		t.Error("invalid design accepted")
+	}
+}

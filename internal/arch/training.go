@@ -1,0 +1,70 @@
+package arch
+
+import "fmt"
+
+// TrainingPlan describes an on-chip training workload — the future-work
+// feature of Section VIII. Each training sample runs a forward COMPUTE pass
+// through every bank plus a backward pass of equal compute cost, then
+// rewrites UpdateFraction of the weight cells.
+type TrainingPlan struct {
+	// Epochs and SamplesPerEpoch size the workload.
+	Epochs, SamplesPerEpoch int
+	// UpdateFraction is the fraction of cells rewritten per sample (sparse
+	// updates rewrite only the weights whose quantized value changed).
+	UpdateFraction float64
+}
+
+// Validate checks the plan.
+func (p *TrainingPlan) Validate() error {
+	if p.Epochs < 1 || p.SamplesPerEpoch < 1 {
+		return fmt.Errorf("arch: training plan needs positive epochs and samples, got %d×%d", p.Epochs, p.SamplesPerEpoch)
+	}
+	if p.UpdateFraction < 0 || p.UpdateFraction > 1 {
+		return fmt.Errorf("arch: update fraction %g outside [0,1]", p.UpdateFraction)
+	}
+	return nil
+}
+
+// TrainingReport summarises an on-chip training cost estimate.
+type TrainingReport struct {
+	// Time and Energy are the total training cost.
+	Time, Energy float64
+	// ComputeEnergy and WriteEnergy split the energy between the
+	// forward/backward passes and the weight updates.
+	ComputeEnergy, WriteEnergy float64
+	// WritesPerCell is the expected number of rewrites each weight cell
+	// sees over the whole run.
+	WritesPerCell float64
+	// EnduranceConsumed is WritesPerCell over the device endurance; a value
+	// above 1 means training alone wears the cells out.
+	EnduranceConsumed float64
+}
+
+// TrainingCost estimates the cost of training the accelerator's network on
+// chip. It exposes the high-writing-cost problem the paper cites as the
+// reason memristor accelerators deploy fixed weights: even modest training
+// runs are dominated by write energy and eat into device endurance.
+func TrainingCost(a *Accelerator, plan TrainingPlan) (TrainingReport, error) {
+	if err := plan.Validate(); err != nil {
+		return TrainingReport{}, err
+	}
+	samples := float64(plan.Epochs * plan.SamplesPerEpoch)
+	var rep TrainingReport
+	for _, b := range a.Banks {
+		// Forward plus backward compute.
+		rep.Time += 2 * b.SampleLatency * samples
+		rep.ComputeEnergy += 2 * b.SampleEnergy * samples
+		cells := float64(b.Layer.Rows*b.Layer.Cols) * float64(b.Design.CellsPerWeight()*b.Design.CrossbarsPerUnit())
+		writes := cells * plan.UpdateFraction * samples
+		// Cells are programmed one write operation at a time per unit, all
+		// units in parallel.
+		rep.Time += writes / float64(b.Units) * b.Unit.WriteOp.Latency
+		rep.WriteEnergy += writes * b.Unit.WriteOp.DynamicEnergy
+	}
+	rep.Energy = rep.ComputeEnergy + rep.WriteEnergy
+	rep.WritesPerCell = plan.UpdateFraction * samples
+	if e := a.Design.Dev.Endurance; e > 0 {
+		rep.EnduranceConsumed = rep.WritesPerCell / e
+	}
+	return rep, nil
+}

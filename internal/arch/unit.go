@@ -1,0 +1,181 @@
+package arch
+
+import (
+	"fmt"
+
+	"mnsim/internal/crossbar"
+	"mnsim/internal/periph"
+)
+
+// Unit is one Computation Unit (Section III.C, Fig. 1d): one or two
+// memristor crossbars with their address decoders, input peripheral
+// circuit (DACs and transfer gates), and read circuits (ADCs, column MUXes,
+// and the optional subtractors for signed weights).
+type Unit struct {
+	Design *Design
+	// Rows and Cols are the logical weight-block shape handled by this unit
+	// (≤ CrossbarSize on each axis).
+	Rows, Cols int
+	// PhysCols is the number of physical crossbar columns in use:
+	// Cols × CellsPerWeight.
+	PhysCols int
+	// ReadCircuits is the resolved parallelism degree p.
+	ReadCircuits int
+	// Cycles is ⌈PhysCols / p⌉ — the sequential read passes per compute.
+	Cycles int
+	// Xbar is the behavioural crossbar model of one physical crossbar.
+	Xbar crossbar.Params
+
+	// Compute is the per-COMPUTE-operation performance of the whole unit;
+	// Area and StaticPower cover the unit, DynamicEnergy and Latency cover
+	// one full matrix-vector multiplication over all columns.
+	Compute periph.Perf
+	// FrontLatency (decode + DAC + crossbar settle), ReadPassLatency (one
+	// MUX+ADC pass), and MergeLatency (subtract / shift-add) break the
+	// compute latency into the stages the inner-layer pipeline registers:
+	// Compute.Latency = FrontLatency + Cycles·ReadPassLatency + MergeLatency.
+	FrontLatency, ReadPassLatency, MergeLatency float64
+	// ReadOp and WriteOp are the per-cell memory-operation performances
+	// used by the instruction model.
+	ReadOp, WriteOp periph.Perf
+}
+
+// NewUnit builds a computation unit for a weight block of the given logical
+// shape.
+func NewUnit(d *Design, rows, cols int) (*Unit, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rows < 1 || rows > d.CrossbarSize || cols < 1 {
+		return nil, fmt.Errorf("arch: unit block %dx%d incompatible with crossbar size %d", rows, cols, d.CrossbarSize)
+	}
+	physCols := cols * d.CellsPerWeight()
+	if physCols > d.CrossbarSize {
+		return nil, fmt.Errorf("arch: block needs %d physical columns, crossbar has %d", physCols, d.CrossbarSize)
+	}
+	u := &Unit{
+		Design:   d,
+		Rows:     rows,
+		Cols:     cols,
+		PhysCols: physCols,
+		Xbar:     d.Crossbar(d.CrossbarSize, d.CrossbarSize),
+	}
+	u.ReadCircuits = d.EffectiveParallelism(physCols)
+	u.Cycles = (physCols + u.ReadCircuits - 1) / u.ReadCircuits
+
+	n := d.CMOS
+	nXbar := d.CrossbarsPerUnit()
+
+	// Input peripheral circuit: one DAC per active row (Section III.C.3),
+	// shared by both crossbars of a signed pair.
+	dac, err := periph.DAC(n, d.DataBits)
+	if err != nil {
+		return nil, err
+	}
+	dacs := dac.Scale(rows)
+
+	// Decoders: each crossbar needs a row and a column decoder for
+	// READ/WRITE; the row decoder is the computation-oriented design of
+	// Fig. 4(b) so COMPUTE can select all rows at once.
+	rowDec, err := periph.Decoder(n, d.CrossbarSize, true)
+	if err != nil {
+		return nil, err
+	}
+	colDec, err := periph.Decoder(n, d.CrossbarSize, false)
+	if err != nil {
+		return nil, err
+	}
+	decoders := periph.Parallel(rowDec.Scale(nXbar), colDec.Scale(nXbar))
+
+	// Read circuits: p ADCs per crossbar behind column MUXes sequenced by a
+	// counter (Section III.C.4).
+	adc, err := periph.ADC(n, d.ADC, d.ADCBits())
+	if err != nil {
+		return nil, err
+	}
+	mux, err := periph.Mux(n, u.Cycles, 1)
+	if err != nil {
+		return nil, err
+	}
+	ctr, err := periph.Counter(n, bitsFor(u.Cycles))
+	if err != nil {
+		return nil, err
+	}
+	readPath := periph.Sum(mux, adc)
+	readCircuits := readPath.Scale(u.ReadCircuits * nXbar)
+
+	// Signed-weight merging.
+	var merge periph.Perf
+	if d.WeightPolarity == 2 {
+		sub, err := periph.Subtractor(n, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		merge = sub.Scale(u.ReadCircuits)
+	}
+	// Bit-slice merging: shift-and-add of BitSlices() slices per weight.
+	if s := d.BitSlices(); s > 1 {
+		sh, err := periph.Shifter(n, d.DataBits+s, d.Dev.LevelBits*(s-1))
+		if err != nil {
+			return nil, err
+		}
+		tree, err := periph.AdderTree(n, s, d.DataBits)
+		if err != nil {
+			return nil, err
+		}
+		merge = merge.Plus(periph.Sum(sh, tree).Scale(u.ReadCircuits))
+	}
+
+	// Crossbar arrays.
+	xbarArea := u.Xbar.Area() * d.AreaCoefficient * float64(nXbar)
+	xbarSettle := u.Xbar.Latency()
+
+	// Assemble one COMPUTE: decode, drive, settle, then Cycles sequential
+	// read passes, then merge. The crossbar conducts (and burns analog
+	// power) for the whole settle-plus-read window; every read circuit
+	// converts once per pass.
+	u.Compute = periph.Perf{
+		Area: xbarArea + dacs.Area + decoders.Area + readCircuits.Area +
+			merge.Area + ctr.Area,
+		StaticPower: dacs.StaticPower + decoders.StaticPower +
+			readCircuits.StaticPower + merge.StaticPower + ctr.StaticPower,
+	}
+	u.FrontLatency = rowDec.Latency + dacs.Latency + xbarSettle
+	u.ReadPassLatency = readPath.Latency
+	u.MergeLatency = merge.Latency
+	u.Compute.Latency = u.FrontLatency +
+		float64(u.Cycles)*u.ReadPassLatency + u.MergeLatency
+	u.Compute.DynamicEnergy = rowDec.DynamicEnergy + dacs.DynamicEnergy*float64(rows) +
+		u.Xbar.ComputePower()*float64(nXbar)*(xbarSettle+float64(u.Cycles)*readPath.Latency) +
+		readPath.DynamicEnergy*float64(u.ReadCircuits*nXbar*u.Cycles) +
+		merge.DynamicEnergy + ctr.DynamicEnergy*float64(u.Cycles)
+
+	// Memory operations exercise one cell through the decoders.
+	u.ReadOp = periph.Perf{
+		Area:          u.Compute.Area,
+		StaticPower:   u.Compute.StaticPower,
+		Latency:       rowDec.Latency + colDec.Latency + xbarSettle + adc.Latency,
+		DynamicEnergy: rowDec.DynamicEnergy + colDec.DynamicEnergy + u.Xbar.ReadPower()/float64(u.Xbar.Cols)*xbarSettle + adc.DynamicEnergy,
+	}
+	u.WriteOp = periph.Perf{
+		Area:          u.Compute.Area,
+		StaticPower:   u.Compute.StaticPower,
+		Latency:       rowDec.Latency + colDec.Latency + d.Dev.WriteLatency,
+		DynamicEnergy: rowDec.DynamicEnergy + colDec.DynamicEnergy + d.Dev.WriteEnergy(),
+	}
+	return u, nil
+}
+
+// ComputePower returns the unit's average power while computing
+// continuously: per-op energy over per-op latency plus leakage.
+func (u *Unit) ComputePower() float64 {
+	return u.Compute.DynamicEnergy/u.Compute.Latency + u.Compute.StaticPower
+}
+
+func bitsFor(v int) int {
+	b := 1
+	for 1<<uint(b) < v {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,415 @@
+// Package circuit is MNSIM-Go's circuit-level reference simulator — the
+// stand-in for the SPICE baseline the paper validates against and times
+// (Tables II–III, Fig. 5).
+//
+// It solves the full M×N memristor crossbar as a resistor network by
+// modified nodal analysis (MNA): every cell input and output node is an
+// unknown ([MN + MN] voltages, the "more than MN + M(N-1) voltage variables"
+// of Section VI), wire segments between neighbouring cells carry the
+// interconnect resistance r, every column terminates in a sensing resistor
+// R_s, and each memristor follows the non-linear sinh I–V law of the device
+// model. The non-linear system is solved with Newton–Raphson over a
+// Jacobi-preconditioned conjugate-gradient linear core (the conductance
+// matrix is symmetric positive definite).
+//
+// The package can also emit the crossbar as a SPICE netlist (Section IV.A:
+// "MNSIM can generate the netlist file for circuit-level simulators like
+// SPICE").
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mnsim/internal/device"
+	"mnsim/internal/linalg"
+)
+
+// Crossbar describes one crossbar instance to simulate at circuit level.
+type Crossbar struct {
+	// M is the number of rows (inputs), N the number of columns (outputs).
+	M, N int
+	// R holds the calibrated (programmed) resistance of each cell in ohms,
+	// indexed [row][col].
+	R [][]float64
+	// WireR is the interconnect resistance of one wire segment between
+	// neighbouring cells, in ohms.
+	WireR float64
+	// RSense is the column sensing (load) resistance in ohms.
+	RSense float64
+	// Dev supplies the non-linear I–V law. Linear selects ideal resistors
+	// instead (used to isolate the interconnect contribution).
+	Dev device.Model
+	// Linear, when true, treats every cell as an ideal resistor at its
+	// calibrated value, skipping Newton iteration.
+	Linear bool
+}
+
+// Validate checks structural consistency.
+func (c *Crossbar) Validate() error {
+	if c.M <= 0 || c.N <= 0 {
+		return fmt.Errorf("circuit: invalid crossbar size %dx%d", c.M, c.N)
+	}
+	if len(c.R) != c.M {
+		return fmt.Errorf("circuit: R has %d rows, want %d", len(c.R), c.M)
+	}
+	for i, row := range c.R {
+		if len(row) != c.N {
+			return fmt.Errorf("circuit: R row %d has %d cols, want %d", i, len(row), c.N)
+		}
+		for j, r := range row {
+			if r <= 0 {
+				return fmt.Errorf("circuit: non-positive resistance %g at (%d,%d)", r, i, j)
+			}
+		}
+	}
+	if c.WireR < 0 {
+		return fmt.Errorf("circuit: negative wire resistance %g", c.WireR)
+	}
+	if c.RSense <= 0 {
+		return fmt.Errorf("circuit: sense resistance must be positive, got %g", c.RSense)
+	}
+	if !c.Linear {
+		if err := c.Dev.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the DC operating point of one crossbar solve.
+type Result struct {
+	// VOut is the voltage across each column's sensing resistor.
+	VOut []float64
+	// Power is the total power delivered by the input sources in watts.
+	Power float64
+	// NewtonIters is the number of Newton iterations performed (1 for a
+	// linear solve).
+	NewtonIters int
+	// CGIters is the cumulative number of conjugate-gradient iterations.
+	CGIters int
+	// NodeV holds all node voltages (row nodes then column nodes) for
+	// callers that need cell operating points.
+	NodeV []float64
+}
+
+// node numbering: row cell nodes first, then column cell nodes.
+func (c *Crossbar) rowNode(m, n int) int { return m*c.N + n }
+func (c *Crossbar) colNode(m, n int) int { return c.M*c.N + m*c.N + n }
+
+// wireG returns the conductance of one wire segment. Zero wire resistance
+// never reaches this path: Solve dispatches it to the collapsed-node solver
+// (solveZeroWire) to keep the MNA matrix well conditioned.
+func (c *Crossbar) wireG() float64 {
+	return 1 / c.WireR
+}
+
+// solveZeroWire handles the ideal-interconnect limit. With r = 0 every row
+// node sits at its source voltage and every column collapses to one node, so
+// each column is an independent scalar KCL equation
+//
+//	Σ_m I_cell(v_m − V_n) = V_n / R_s,
+//
+// solved by bisection (the left side is strictly decreasing in V_n, the
+// right side strictly increasing, so the root is unique).
+func (c *Crossbar) solveZeroWire(vin []float64) (*Result, error) {
+	res := &Result{
+		VOut:        make([]float64, c.N),
+		NodeV:       make([]float64, 2*c.M*c.N),
+		NewtonIters: 1,
+	}
+	for m := 0; m < c.M; m++ {
+		for n := 0; n < c.N; n++ {
+			res.NodeV[c.rowNode(m, n)] = vin[m]
+		}
+	}
+	vmax := 0.0
+	for _, v := range vin {
+		if v > vmax {
+			vmax = v
+		}
+	}
+	cellI := func(vd, r float64) float64 {
+		if c.Linear {
+			return vd / r
+		}
+		return c.Dev.Current(vd, r)
+	}
+	for n := 0; n < c.N; n++ {
+		f := func(v float64) float64 {
+			sum := 0.0
+			for m := 0; m < c.M; m++ {
+				sum += cellI(vin[m]-v, c.R[m][n])
+			}
+			return sum - v/c.RSense
+		}
+		lo, hi := 0.0, vmax
+		for iter := 0; iter < 100; iter++ {
+			mid := (lo + hi) / 2
+			if f(mid) > 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		v := (lo + hi) / 2
+		res.VOut[n] = v
+		for m := 0; m < c.M; m++ {
+			res.NodeV[c.colNode(m, n)] = v
+		}
+	}
+	for m := 0; m < c.M; m++ {
+		rowI := 0.0
+		for n := 0; n < c.N; n++ {
+			rowI += cellI(vin[m]-res.VOut[n], c.R[m][n])
+		}
+		res.Power += vin[m] * rowI
+	}
+	return res, nil
+}
+
+// assembly holds the constant sparsity pattern plus the slots that Newton
+// iteration rewrites.
+type assembly struct {
+	trips   []linalg.Coord
+	memIdx  [][4]int // per cell: indices of its 4 triplets in trips
+	mat     *linalg.CSR
+	rhsBase []float64 // source contributions, constant across iterations
+	srcG    float64
+}
+
+func (c *Crossbar) assemble(vin []float64) (*assembly, error) {
+	n2 := 2 * c.M * c.N
+	a := &assembly{rhsBase: make([]float64, n2), srcG: c.wireG()}
+	gw := c.wireG()
+	// Row wires: source -> (m,0) -> (m,1) -> ... -> (m,N-1)
+	for m := 0; m < c.M; m++ {
+		first := c.rowNode(m, 0)
+		a.trips = append(a.trips, linalg.Coord{Row: first, Col: first, Val: gw})
+		a.rhsBase[first] += gw * vin[m]
+		for n := 0; n+1 < c.N; n++ {
+			i, j := c.rowNode(m, n), c.rowNode(m, n+1)
+			a.trips = append(a.trips,
+				linalg.Coord{Row: i, Col: i, Val: gw},
+				linalg.Coord{Row: j, Col: j, Val: gw},
+				linalg.Coord{Row: i, Col: j, Val: -gw},
+				linalg.Coord{Row: j, Col: i, Val: -gw})
+		}
+	}
+	// Column wires: (0,n) -> (1,n) -> ... -> (M-1,n) -> RSense -> ground
+	gs := 1 / c.RSense
+	for n := 0; n < c.N; n++ {
+		for m := 0; m+1 < c.M; m++ {
+			i, j := c.colNode(m, n), c.colNode(m+1, n)
+			a.trips = append(a.trips,
+				linalg.Coord{Row: i, Col: i, Val: gw},
+				linalg.Coord{Row: j, Col: j, Val: gw},
+				linalg.Coord{Row: i, Col: j, Val: -gw},
+				linalg.Coord{Row: j, Col: i, Val: -gw})
+		}
+		last := c.colNode(c.M-1, n)
+		a.trips = append(a.trips, linalg.Coord{Row: last, Col: last, Val: gs})
+	}
+	// Memristor cells: start from the calibrated linear conductance.
+	a.memIdx = make([][4]int, c.M*c.N)
+	for m := 0; m < c.M; m++ {
+		for n := 0; n < c.N; n++ {
+			i, j := c.rowNode(m, n), c.colNode(m, n)
+			g := 1 / c.R[m][n]
+			base := len(a.trips)
+			a.trips = append(a.trips,
+				linalg.Coord{Row: i, Col: i, Val: g},
+				linalg.Coord{Row: j, Col: j, Val: g},
+				linalg.Coord{Row: i, Col: j, Val: -g},
+				linalg.Coord{Row: j, Col: i, Val: -g})
+			a.memIdx[m*c.N+n] = [4]int{base, base + 1, base + 2, base + 3}
+		}
+	}
+	mat, err := linalg.NewCSR(n2, a.trips)
+	if err != nil {
+		return nil, err
+	}
+	a.mat = mat
+	return a, nil
+}
+
+// restamp rewrites the memristor companion-model conductances for the
+// current voltage estimate and returns the full right-hand side (source
+// terms plus Newton equivalent current sources).
+func (c *Crossbar) restamp(a *assembly, v []float64) []float64 {
+	rhs := make([]float64, len(a.rhsBase))
+	copy(rhs, a.rhsBase)
+	for m := 0; m < c.M; m++ {
+		for n := 0; n < c.N; n++ {
+			i, j := c.rowNode(m, n), c.colNode(m, n)
+			vd := v[i] - v[j]
+			g := c.Dev.Conductance(vd, c.R[m][n])
+			ieq := c.Dev.Current(vd, c.R[m][n]) - g*vd
+			idx := a.memIdx[m*c.N+n]
+			a.trips[idx[0]].Val = g
+			a.trips[idx[1]].Val = g
+			a.trips[idx[2]].Val = -g
+			a.trips[idx[3]].Val = -g
+			rhs[i] -= ieq
+			rhs[j] += ieq
+		}
+	}
+	return rhs
+}
+
+// SolveOptions tunes the non-linear solve.
+type SolveOptions struct {
+	// Tol is the Newton convergence threshold on the max node-voltage
+	// update in volts; default 1e-9.
+	Tol float64
+	// MaxNewton bounds Newton iterations; default 50.
+	MaxNewton int
+	// CGTol is the relative tolerance of each inner linear solve;
+	// default 1e-10.
+	CGTol float64
+}
+
+// ErrNewtonDiverged is returned when Newton iteration fails to converge.
+var ErrNewtonDiverged = errors.New("circuit: Newton iteration did not converge")
+
+// Solve computes the DC operating point for the given input voltage vector
+// (length M).
+func (c *Crossbar) Solve(vin []float64, opt SolveOptions) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(vin) != c.M {
+		return nil, fmt.Errorf("circuit: input vector length %d, want %d", len(vin), c.M)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxNewton <= 0 {
+		opt.MaxNewton = 50
+	}
+	if opt.CGTol <= 0 {
+		opt.CGTol = 1e-10
+	}
+	if c.WireR == 0 {
+		return c.solveZeroWire(vin)
+	}
+	a, err := c.assemble(vin)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	// Initial linear solve at calibrated resistances.
+	v, it, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: opt.CGTol})
+	if err != nil {
+		return nil, fmt.Errorf("circuit: linear solve: %w", err)
+	}
+	res.CGIters += it
+	res.NewtonIters = 1
+	if !c.Linear {
+		for iter := 0; iter < opt.MaxNewton; iter++ {
+			rhs := c.restamp(a, v)
+			if err := a.mat.UpdateValues(a.trips); err != nil {
+				return nil, err
+			}
+			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol})
+			if err != nil {
+				return nil, fmt.Errorf("circuit: Newton linear solve: %w", err)
+			}
+			res.CGIters += it
+			res.NewtonIters++
+			delta := 0.0
+			for i := range v {
+				if d := math.Abs(vNew[i] - v[i]); d > delta {
+					delta = d
+				}
+			}
+			v = vNew
+			if delta < opt.Tol {
+				break
+			}
+			if iter == opt.MaxNewton-1 {
+				return nil, ErrNewtonDiverged
+			}
+		}
+	}
+	res.NodeV = v
+	res.VOut = make([]float64, c.N)
+	for n := 0; n < c.N; n++ {
+		res.VOut[n] = v[c.colNode(c.M-1, n)]
+	}
+	// Source power: each source drives its row through the first segment.
+	gw := c.wireG()
+	for m := 0; m < c.M; m++ {
+		i := gw * (vin[m] - v[c.rowNode(m, 0)])
+		res.Power += vin[m] * i
+	}
+	return res, nil
+}
+
+// CellVoltage returns the voltage across cell (m,n) in a solved result.
+func (c *Crossbar) CellVoltage(res *Result, m, n int) float64 {
+	return res.NodeV[c.rowNode(m, n)] - res.NodeV[c.colNode(m, n)]
+}
+
+// DissipatedPower sums the power burned in every element of the solved
+// network (wires, cells, sense resistors). For a correct DC solution it
+// equals the source power; the solver tests use it as an energy-conservation
+// check.
+func (c *Crossbar) DissipatedPower(res *Result, vin []float64) float64 {
+	p := 0.0
+	if c.WireR > 0 {
+		gw := c.wireG()
+		for m := 0; m < c.M; m++ {
+			dv := vin[m] - res.NodeV[c.rowNode(m, 0)]
+			p += dv * dv * gw
+			for n := 0; n+1 < c.N; n++ {
+				dv := res.NodeV[c.rowNode(m, n)] - res.NodeV[c.rowNode(m, n+1)]
+				p += dv * dv * gw
+			}
+		}
+		for n := 0; n < c.N; n++ {
+			for m := 0; m+1 < c.M; m++ {
+				dv := res.NodeV[c.colNode(m, n)] - res.NodeV[c.colNode(m+1, n)]
+				p += dv * dv * gw
+			}
+		}
+	}
+	for n := 0; n < c.N; n++ {
+		vLast := res.NodeV[c.colNode(c.M-1, n)]
+		p += vLast * vLast / c.RSense
+	}
+	for m := 0; m < c.M; m++ {
+		for n := 0; n < c.N; n++ {
+			vd := c.CellVoltage(res, m, n)
+			if c.Linear {
+				p += vd * vd / c.R[m][n]
+			} else {
+				p += vd * c.Dev.Current(vd, c.R[m][n])
+			}
+		}
+	}
+	return p
+}
+
+// IdealOut returns the interconnect-free, linear-device output voltages:
+// the fixed-point "ideal computation result" of the accuracy model
+// (Section VI), V_n = Σ_m g_mn·v_m / (g_s + Σ_m g_mn), the column form of
+// Eq. 2.
+func (c *Crossbar) IdealOut(vin []float64) ([]float64, error) {
+	if len(vin) != c.M {
+		return nil, fmt.Errorf("circuit: input vector length %d, want %d", len(vin), c.M)
+	}
+	gs := 1 / c.RSense
+	out := make([]float64, c.N)
+	for n := 0; n < c.N; n++ {
+		num, den := 0.0, gs
+		for m := 0; m < c.M; m++ {
+			g := 1 / c.R[m][n]
+			num += g * vin[m]
+			den += g
+		}
+		out[n] = num / den
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+
+	"mnsim/internal/device"
+	"mnsim/internal/linalg"
+)
+
+// Failure injection: a pathologically non-linear device must trip the
+// Newton divergence guard instead of looping or returning garbage.
+func TestNewtonDivergenceDetected(t *testing.T) {
+	dev := device.RRAM()
+	dev.NonlinearVc = 1e-4 // insanely steep sinh: exp(3000)-scale currents
+	c := &Crossbar{M: 2, N: 2, R: uniformR(2, 2, 100e3), WireR: 1, RSense: 1500, Dev: dev}
+	_, err := c.Solve([]float64{0.3, 0.3}, SolveOptions{MaxNewton: 5})
+	if err == nil {
+		t.Fatal("pathological device converged")
+	}
+}
+
+// An exhausted linear-solver budget surfaces as linalg.ErrNoConvergence.
+func TestCGBudgetExhaustion(t *testing.T) {
+	// Larger grids cannot hit machine-precision tolerance in one iteration.
+	m, err := linalg.NewCSR(3, []linalg.Coord{
+		{Row: 0, Col: 0, Val: 4}, {Row: 0, Col: 1, Val: -1},
+		{Row: 1, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: 4}, {Row: 1, Col: 2, Val: -1},
+		{Row: 2, Col: 1, Val: -1}, {Row: 2, Col: 2, Val: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = linalg.SolveCG(m, []float64{1, 2, 3}, nil, linalg.CGOptions{Tol: 1e-16, MaxIter: 1})
+	if !errors.Is(err, linalg.ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+}
+
+// The zero-wire fast path handles the non-linear device too.
+func TestZeroWireNonlinear(t *testing.T) {
+	dev := device.RRAM()
+	c := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 200e3), WireR: 0, RSense: 1500, Dev: dev}
+	vin := []float64{0.3, 0.3, 0.3, 0.3}
+	res, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KCL check at each column: cell currents balance the sense current.
+	for n := 0; n < 4; n++ {
+		sum := 0.0
+		for m := 0; m < 4; m++ {
+			sum += dev.Current(vin[m]-res.VOut[n], 200e3)
+		}
+		if diff := sum - res.VOut[n]/1500; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("column %d KCL residual %v", n, diff)
+		}
+	}
+	// Power bookkeeping holds on the fast path too.
+	diss := c.DissipatedPower(res, vin)
+	if rel := (res.Power - diss) / res.Power; rel > 1e-6 || rel < -1e-6 {
+		t.Fatalf("power mismatch: source %v vs dissipated %v", res.Power, diss)
+	}
+}
+
+// Solving twice must not corrupt shared state (the assembly is rebuilt).
+func TestSolveReentrant(t *testing.T) {
+	dev := device.RRAM()
+	c := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 150e3), WireR: 0.5, RSense: 1500, Dev: dev}
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	a, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range a.VOut {
+		if a.VOut[n] != b.VOut[n] {
+			t.Fatalf("column %d differs between runs", n)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"mnsim/internal/linalg"
+)
+
+// TransientOptions tunes SettleTime.
+type TransientOptions struct {
+	// NodeCap is the wire capacitance attached to every internal node in
+	// farads (one segment's worth per node).
+	NodeCap float64
+	// CellCap is the additional parasitic capacitance each cell presents to
+	// its column node (device.Model.CellCap); rows are driven by stiff
+	// sources, so the cell capacitance appears at the column side.
+	CellCap float64
+	// SettleFrac is the convergence criterion: settled when every output is
+	// within SettleFrac of its final DC value. Default 1/512 (half an LSB
+	// at 8 bits).
+	SettleFrac float64
+	// Dt is the backward-Euler step; default NodeCap·RSense/4 with a floor
+	// of 1 ps.
+	Dt float64
+	// MaxSteps bounds the integration; default 100000.
+	MaxSteps int
+}
+
+// SettleTime measures the crossbar's output settling latency by transient
+// (backward-Euler) simulation of the full RC network — the circuit-level
+// latency reference the behavioural Elmore model is validated against
+// (Table II). Cells are linearised at their calibrated resistance, which is
+// accurate for settling behaviour since the non-linear deviation is a
+// small-signal effect at the operating point.
+//
+// The grid starts discharged (all nodes at 0 V) and the inputs step to vin
+// at t = 0; the returned time is when every column output has come within
+// SettleFrac of its DC value.
+func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if len(vin) != c.M {
+		return 0, fmt.Errorf("circuit: input vector length %d, want %d", len(vin), c.M)
+	}
+	if c.WireR == 0 {
+		return 0, fmt.Errorf("circuit: transient needs a resistive wire model")
+	}
+	if opt.NodeCap <= 0 {
+		return 0, fmt.Errorf("circuit: node capacitance must be positive")
+	}
+	if opt.SettleFrac <= 0 {
+		opt.SettleFrac = 1.0 / 512
+	}
+	if opt.Dt <= 0 {
+		// Resolve the dominant pole (≤ R_s · column capacitance) with ~50
+		// steps per time constant.
+		opt.Dt = c.RSense * float64(c.M) * (opt.NodeCap + opt.CellCap) / 50
+		if opt.Dt < 1e-15 {
+			opt.Dt = 1e-15
+		}
+	}
+	if opt.MaxSteps <= 0 {
+		opt.MaxSteps = 100000
+	}
+	lin := *c
+	lin.Linear = true
+	a, err := lin.assemble(vin)
+	if err != nil {
+		return 0, err
+	}
+	// DC target for the settling criterion.
+	final, _, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: 1e-10})
+	if err != nil {
+		return 0, fmt.Errorf("circuit: DC solve: %w", err)
+	}
+	// Backward Euler: (G + C/dt)·v_{t+dt} = C/dt·v_t + b. Build G + C/dt by
+	// adding C/dt to every diagonal of the stamped pattern.
+	n2 := 2 * c.M * c.N
+	half := c.M * c.N // column nodes start here
+	caps := make([]float64, n2)
+	for i := 0; i < n2; i++ {
+		caps[i] = opt.NodeCap
+		if i >= half {
+			caps[i] += opt.CellCap
+		}
+	}
+	trips := make([]linalg.Coord, len(a.trips), len(a.trips)+n2)
+	copy(trips, a.trips)
+	for i := 0; i < n2; i++ {
+		trips = append(trips, linalg.Coord{Row: i, Col: i, Val: caps[i] / opt.Dt})
+	}
+	mat, err := linalg.NewCSR(n2, trips)
+	if err != nil {
+		return 0, err
+	}
+	v := make([]float64, n2) // discharged start
+	rhs := make([]float64, n2)
+	settled := func() bool {
+		for n := 0; n < c.N; n++ {
+			idx := c.colNode(c.M-1, n)
+			f := final[idx]
+			if math.Abs(v[idx]-f) > opt.SettleFrac*math.Max(math.Abs(f), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	for step := 1; step <= opt.MaxSteps; step++ {
+		copy(rhs, a.rhsBase)
+		for i := 0; i < n2; i++ {
+			rhs[i] += caps[i] / opt.Dt * v[i]
+		}
+		v, _, err = linalg.SolveCG(mat, rhs, v, linalg.CGOptions{Tol: 1e-9})
+		if err != nil {
+			return 0, fmt.Errorf("circuit: transient step %d: %w", step, err)
+		}
+		if settled() {
+			return float64(step) * opt.Dt, nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: outputs did not settle within %d steps", opt.MaxSteps)
+}

@@ -1,0 +1,69 @@
+package circuit
+
+import (
+	"testing"
+)
+
+func TestSettleTimeBasic(t *testing.T) {
+	c := &Crossbar{M: 8, N: 8, R: uniformR(8, 8, 100e3), WireR: 0.5, RSense: 1500, Linear: true}
+	vin := make([]float64, 8)
+	for i := range vin {
+		vin[i] = 0.3
+	}
+	ts, err := c.SettleTime(vin, TransientOptions{NodeCap: 0.1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= 0 {
+		t.Fatalf("settle time %v", ts)
+	}
+	// Larger node capacitance settles more slowly.
+	slow, err := c.SettleTime(vin, TransientOptions{NodeCap: 0.4e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow <= ts {
+		t.Fatalf("4x capacitance settle %v not above %v", slow, ts)
+	}
+}
+
+func TestSettleTimeGrowsWithSize(t *testing.T) {
+	times := map[int]float64{}
+	for _, sz := range []int{8, 16} {
+		c := &Crossbar{M: sz, N: sz, R: uniformR(sz, sz, 100e3), WireR: 2.0, RSense: 1500, Linear: true}
+		vin := make([]float64, sz)
+		for i := range vin {
+			vin[i] = 0.3
+		}
+		ts, err := c.SettleTime(vin, TransientOptions{NodeCap: 0.1e-15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[sz] = ts
+	}
+	if times[16] < times[8] {
+		t.Fatalf("16x16 settles faster (%v) than 8x8 (%v)", times[16], times[8])
+	}
+}
+
+func TestSettleTimeErrors(t *testing.T) {
+	c := &Crossbar{M: 2, N: 2, R: uniformR(2, 2, 1e3), WireR: 1, RSense: 100, Linear: true}
+	if _, err := c.SettleTime([]float64{0.3}, TransientOptions{NodeCap: 1e-15}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := c.SettleTime([]float64{0.3, 0.3}, TransientOptions{}); err == nil {
+		t.Error("zero capacitance accepted")
+	}
+	zeroWire := &Crossbar{M: 2, N: 2, R: uniformR(2, 2, 1e3), WireR: 0, RSense: 100, Linear: true}
+	if _, err := zeroWire.SettleTime([]float64{0.3, 0.3}, TransientOptions{NodeCap: 1e-15}); err == nil {
+		t.Error("zero wire accepted")
+	}
+	bad := &Crossbar{M: 0}
+	if _, err := bad.SettleTime(nil, TransientOptions{NodeCap: 1e-15}); err == nil {
+		t.Error("invalid crossbar accepted")
+	}
+	// Too few steps to settle.
+	if _, err := c.SettleTime([]float64{0.3, 0.3}, TransientOptions{NodeCap: 1e-15, MaxSteps: 1, Dt: 1e-15}); err == nil {
+		t.Error("unsettleable budget accepted")
+	}
+}

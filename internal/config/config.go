@@ -1,0 +1,276 @@
+// Package config implements MNSIM's configuration list (Table I of the
+// paper): users describe an accelerator in a small key = value file whose
+// entries are classified into the three hierarchy levels (Accelerator,
+// Computation Bank, Computation Unit). Unset keys take the paper's
+// defaults.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LayerShape is one network layer's weight-matrix shape: Rows inputs
+// feeding Cols outputs.
+type LayerShape struct {
+	Rows, Cols int
+}
+
+// Config mirrors Table I. Field names keep the configuration-file spelling
+// (with underscores replaced by camel case).
+type Config struct {
+	// Accelerator level.
+	NetworkDepth    int    // layers of the application (derived from NetworkScale if 0)
+	InterfaceNumber [2]int // input and output I/O line counts
+
+	// Computation-bank level.
+	NetworkType  string       // ANN, SNN, or CNN
+	NetworkScale []LayerShape // scale of each layer
+	CrossbarSize int
+	PoolingSize  int
+	SpacialSize  int
+
+	// Computation-unit level.
+	WeightPolarity    int    // 1 = unsigned weights, 2 = signed
+	CMOSTech          int    // nm
+	CellType          string // 1T1R or 0T1R
+	MemristorModel    string // RRAM or PCM
+	InterconnectTech  int    // nm
+	ParallelismDegree int    // read circuits per crossbar; 0 = all parallel
+	ResistanceRange   [2]float64
+
+	// Extensions beyond Table I used by the experiments.
+	WeightBits    int    // weight precision in bits
+	DataBits      int    // input/output signal precision in bits
+	ADCDesign     string // VariableSA, SAR, or Flash
+	Variation     float64
+	InnerPipeline bool // ISAAC-style inner-layer pipeline (future-work feature)
+}
+
+// Default returns the configuration defaults of Table I. The resistance
+// range follows the computing-oriented reference device rather than the
+// paper's memory-style [500, 500k] default (see DESIGN.md).
+func Default() Config {
+	return Config{
+		InterfaceNumber:   [2]int{128, 128},
+		NetworkType:       "ANN",
+		CrossbarSize:      128,
+		PoolingSize:       2,
+		SpacialSize:       1,
+		WeightPolarity:    2,
+		CMOSTech:          90,
+		CellType:          "1T1R",
+		MemristorModel:    "RRAM",
+		InterconnectTech:  28,
+		ParallelismDegree: 0,
+		ResistanceRange:   [2]float64{100e3, 10e6},
+		WeightBits:        4,
+		DataBits:          8,
+		ADCDesign:         "VariableSA",
+	}
+}
+
+// Validate reports the first inconsistency found.
+func (c *Config) Validate() error {
+	switch {
+	case len(c.NetworkScale) == 0:
+		return fmt.Errorf("config: Network_Scale is required")
+	case c.NetworkDepth != 0 && c.NetworkDepth != len(c.NetworkScale):
+		return fmt.Errorf("config: Network_Depth %d disagrees with %d Network_Scale entries", c.NetworkDepth, len(c.NetworkScale))
+	case c.CrossbarSize < 2 || c.CrossbarSize > 4096:
+		return fmt.Errorf("config: Crossbar_Size %d outside [2,4096]", c.CrossbarSize)
+	case c.WeightPolarity != 1 && c.WeightPolarity != 2:
+		return fmt.Errorf("config: Weight_Polarity %d must be 1 or 2", c.WeightPolarity)
+	case c.PoolingSize < 1:
+		return fmt.Errorf("config: Pooling_Size %d invalid", c.PoolingSize)
+	case c.SpacialSize < 1:
+		return fmt.Errorf("config: Spacial_Size %d invalid", c.SpacialSize)
+	case c.ParallelismDegree < 0:
+		return fmt.Errorf("config: Parallelism_Degree %d invalid", c.ParallelismDegree)
+	case c.ResistanceRange[0] <= 0 || c.ResistanceRange[1] <= c.ResistanceRange[0]:
+		return fmt.Errorf("config: Resistance_Range [%g, %g] invalid", c.ResistanceRange[0], c.ResistanceRange[1])
+	case c.WeightBits < 1 || c.WeightBits > 16:
+		return fmt.Errorf("config: weight bits %d outside [1,16]", c.WeightBits)
+	case c.DataBits < 1 || c.DataBits > 16:
+		return fmt.Errorf("config: data bits %d outside [1,16]", c.DataBits)
+	case c.Variation < 0 || c.Variation > 0.5:
+		return fmt.Errorf("config: variation %g outside [0,0.5]", c.Variation)
+	case c.InterfaceNumber[0] < 1 || c.InterfaceNumber[1] < 1:
+		return fmt.Errorf("config: Interface_Number %v invalid", c.InterfaceNumber)
+	}
+	switch c.NetworkType {
+	case "ANN", "SNN", "CNN":
+	default:
+		return fmt.Errorf("config: Network_Type %q must be ANN, SNN, or CNN", c.NetworkType)
+	}
+	for i, l := range c.NetworkScale {
+		if l.Rows < 1 || l.Cols < 1 {
+			return fmt.Errorf("config: layer %d scale %dx%d invalid", i, l.Rows, l.Cols)
+		}
+	}
+	if c.NetworkDepth == 0 {
+		c.NetworkDepth = len(c.NetworkScale)
+	}
+	return nil
+}
+
+// Parse reads a configuration file: one `Key = value` per line, `#` starts
+// a comment, unknown keys are rejected. Missing keys keep the Table I
+// defaults.
+func Parse(r io.Reader) (Config, error) {
+	c := Default()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return c, fmt.Errorf("config line %d: missing '=' in %q", lineNo, line)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if err := c.set(key, val); err != nil {
+			return c, fmt.Errorf("config line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return c, err
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func (c *Config) set(key, val string) error {
+	var err error
+	switch key {
+	case "Network_Depth":
+		c.NetworkDepth, err = strconv.Atoi(val)
+	case "Interface_Number":
+		var pair [2]float64
+		pair, err = parsePair(val)
+		c.InterfaceNumber = [2]int{int(pair[0]), int(pair[1])}
+	case "Network_Type":
+		c.NetworkType = val
+	case "Network_Scale":
+		c.NetworkScale, err = parseScale(val)
+	case "Crossbar_Size":
+		c.CrossbarSize, err = strconv.Atoi(val)
+	case "Pooling_Size":
+		c.PoolingSize, err = strconv.Atoi(val)
+	case "Spacial_Size":
+		c.SpacialSize, err = strconv.Atoi(val)
+	case "Weight_Polarity":
+		c.WeightPolarity, err = strconv.Atoi(val)
+	case "CMOS_Tech":
+		c.CMOSTech, err = parseNanometres(val)
+	case "Cell_Type":
+		c.CellType = val
+	case "Memristor_Model":
+		c.MemristorModel = val
+	case "Interconnect_Tech":
+		c.InterconnectTech, err = parseNanometres(val)
+	case "Parallelism_Degree":
+		c.ParallelismDegree, err = strconv.Atoi(val)
+	case "Resistance_Range":
+		c.ResistanceRange, err = parsePair(val)
+	case "Weight_Bits":
+		c.WeightBits, err = strconv.Atoi(val)
+	case "Data_Bits":
+		c.DataBits, err = strconv.Atoi(val)
+	case "ADC_Design":
+		c.ADCDesign = val
+	case "Variation":
+		c.Variation, err = strconv.ParseFloat(val, 64)
+	case "Inner_Pipeline":
+		c.InnerPipeline, err = strconv.ParseBool(val)
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return err
+}
+
+// parseNanometres accepts "90" or "90nm".
+func parseNanometres(s string) (int, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "nm")
+	return strconv.Atoi(s)
+}
+
+// parsePair accepts "[a, b]", "[a b]", or "a,b", with optional k/M/G
+// magnitude suffixes on each element.
+func parsePair(s string) ([2]float64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	if len(fields) != 2 {
+		return [2]float64{}, fmt.Errorf("want two values, got %q", s)
+	}
+	var out [2]float64
+	for i, f := range fields {
+		v, err := parseMagnitude(f)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseMagnitude(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v * mult, nil
+}
+
+// parseScale accepts a comma-separated list of RxC layer shapes, e.g.
+// "2048x1024, 1024x512".
+func parseScale(s string) ([]LayerShape, error) {
+	var out []LayerShape
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rs, cs, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad layer shape %q (want RxC)", part)
+		}
+		r, err := strconv.Atoi(strings.TrimSpace(rs))
+		if err != nil {
+			return nil, fmt.Errorf("bad layer rows in %q", part)
+		}
+		c, err := strconv.Atoi(strings.TrimSpace(cs))
+		if err != nil {
+			return nil, fmt.Errorf("bad layer cols in %q", part)
+		}
+		out = append(out, LayerShape{Rows: r, Cols: c})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty Network_Scale")
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultsMatchTableI(t *testing.T) {
+	c := Default()
+	if c.InterfaceNumber != [2]int{128, 128} {
+		t.Errorf("Interface_Number = %v", c.InterfaceNumber)
+	}
+	if c.NetworkType != "ANN" {
+		t.Errorf("Network_Type = %v", c.NetworkType)
+	}
+	if c.CrossbarSize != 128 {
+		t.Errorf("Crossbar_Size = %v", c.CrossbarSize)
+	}
+	if c.PoolingSize != 2 || c.SpacialSize != 1 || c.WeightPolarity != 2 {
+		t.Errorf("bank/unit defaults wrong: %+v", c)
+	}
+	if c.CMOSTech != 90 || c.InterconnectTech != 28 {
+		t.Errorf("tech defaults wrong: %+v", c)
+	}
+	if c.CellType != "1T1R" || c.MemristorModel != "RRAM" {
+		t.Errorf("device defaults wrong: %+v", c)
+	}
+	if c.ParallelismDegree != 0 {
+		t.Errorf("Parallelism_Degree = %v, want 0 (all parallel)", c.ParallelismDegree)
+	}
+}
+
+func TestParseFullFile(t *testing.T) {
+	src := `
+# MNSIM configuration
+Network_Depth = 2
+Interface_Number = [64, 32]
+Network_Type = CNN            # convolutional
+Network_Scale = 2048x1024, 1024x512
+Crossbar_Size = 256
+Pooling_Size = 3
+Spacial_Size = 2
+Weight_Polarity = 1
+CMOS_Tech = 45nm
+Cell_Type = 0T1R
+Memristor_Model = PCM
+Interconnect_Tech = 22
+Parallelism_Degree = 16
+Resistance_Range = [500k, 50M]
+Weight_Bits = 8
+Data_Bits = 6
+ADC_Design = SAR
+Variation = 0.1
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NetworkDepth != 2 || c.InterfaceNumber != [2]int{64, 32} {
+		t.Errorf("accelerator level: %+v", c)
+	}
+	if c.NetworkType != "CNN" || c.CrossbarSize != 256 || c.PoolingSize != 3 || c.SpacialSize != 2 {
+		t.Errorf("bank level: %+v", c)
+	}
+	if len(c.NetworkScale) != 2 || c.NetworkScale[0] != (LayerShape{2048, 1024}) || c.NetworkScale[1] != (LayerShape{1024, 512}) {
+		t.Errorf("Network_Scale = %v", c.NetworkScale)
+	}
+	if c.WeightPolarity != 1 || c.CMOSTech != 45 || c.CellType != "0T1R" || c.MemristorModel != "PCM" {
+		t.Errorf("unit level: %+v", c)
+	}
+	if c.InterconnectTech != 22 || c.ParallelismDegree != 16 {
+		t.Errorf("unit level 2: %+v", c)
+	}
+	if c.ResistanceRange != [2]float64{500e3, 50e6} {
+		t.Errorf("Resistance_Range = %v", c.ResistanceRange)
+	}
+	if c.WeightBits != 8 || c.DataBits != 6 || c.ADCDesign != "SAR" || c.Variation != 0.1 {
+		t.Errorf("extensions: %+v", c)
+	}
+}
+
+func TestParseDerivesDepth(t *testing.T) {
+	c, err := Parse(strings.NewReader("Network_Scale = 128x128, 128x10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NetworkDepth != 2 {
+		t.Fatalf("derived depth = %d", c.NetworkDepth)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing equals":       "Crossbar_Size 128\n",
+		"unknown key":          "Zebra = 1\nNetwork_Scale = 1x1\n",
+		"bad int":              "Crossbar_Size = big\nNetwork_Scale = 1x1\n",
+		"bad pair":             "Interface_Number = [1]\nNetwork_Scale = 1x1\n",
+		"bad shape":            "Network_Scale = 128\n",
+		"bad shape rows":       "Network_Scale = axb\n",
+		"bad shape cols":       "Network_Scale = 12xb\n",
+		"empty scale":          "Network_Scale = ,\n",
+		"bad magnitude":        "Resistance_Range = [x, 1M]\nNetwork_Scale = 1x1\n",
+		"depth mismatch":       "Network_Depth = 3\nNetwork_Scale = 1x1\n",
+		"no scale":             "Crossbar_Size = 128\n",
+		"bad float":            "Variation = much\nNetwork_Scale = 1x1\n",
+		"bad network type":     "Network_Type = RNN\nNetwork_Scale = 1x1\n",
+		"bad polarity":         "Weight_Polarity = 3\nNetwork_Scale = 1x1\n",
+		"bad crossbar size":    "Crossbar_Size = 1\nNetwork_Scale = 1x1\n",
+		"bad pooling":          "Pooling_Size = 0\nNetwork_Scale = 1x1\n",
+		"bad spacial":          "Spacial_Size = 0\nNetwork_Scale = 1x1\n",
+		"bad parallelism":      "Parallelism_Degree = -1\nNetwork_Scale = 1x1\n",
+		"bad resistance range": "Resistance_Range = [10, 5]\nNetwork_Scale = 1x1\n",
+		"bad weight bits":      "Weight_Bits = 0\nNetwork_Scale = 1x1\n",
+		"bad data bits":        "Data_Bits = 99\nNetwork_Scale = 1x1\n",
+		"bad variation":        "Variation = 0.9\nNetwork_Scale = 1x1\n",
+		"bad interface":        "Interface_Number = [0, 4]\nNetwork_Scale = 1x1\n",
+		"bad layer":            "Network_Scale = 0x5\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseMagnitudeSuffixes(t *testing.T) {
+	c, err := Parse(strings.NewReader("Resistance_Range = [500 500k]\nNetwork_Scale = 4x4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ResistanceRange != [2]float64{500, 500e3} {
+		t.Fatalf("range = %v", c.ResistanceRange)
+	}
+	c, err = Parse(strings.NewReader("Resistance_Range = [1M, 2G]\nNetwork_Scale = 4x4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ResistanceRange != [2]float64{1e6, 2e9} {
+		t.Fatalf("range = %v", c.ResistanceRange)
+	}
+}
+
+func TestValidateMutatesDepth(t *testing.T) {
+	c := Default()
+	c.NetworkScale = []LayerShape{{8, 8}, {8, 4}, {4, 2}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NetworkDepth != 3 {
+		t.Fatalf("depth = %d", c.NetworkDepth)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "\n\n# full comment line\nNetwork_Scale = 4x4 # trailing comment\n\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.NetworkScale) != 1 || c.NetworkScale[0] != (LayerShape{4, 4}) {
+		t.Fatalf("scale = %v", c.NetworkScale)
+	}
+}
+
+func TestInnerPipelineKey(t *testing.T) {
+	c, err := Parse(strings.NewReader("Network_Scale = 8x8\nInner_Pipeline = true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.InnerPipeline {
+		t.Fatal("Inner_Pipeline not parsed")
+	}
+	if _, err := Parse(strings.NewReader("Network_Scale = 8x8\nInner_Pipeline = maybe\n")); err == nil {
+		t.Fatal("bad bool accepted")
+	}
+	var sb strings.Builder
+	if err := c.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Inner_Pipeline = true") {
+		t.Fatal("Write lost Inner_Pipeline")
+	}
+}

@@ -1,0 +1,35 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the configuration parser never panics and that anything
+// it accepts round-trips through Write.
+func FuzzParse(f *testing.F) {
+	f.Add("Network_Scale = 4x4\n")
+	f.Add("Crossbar_Size = 128\nNetwork_Scale = 2048x1024, 8x8\n")
+	f.Add("Resistance_Range = [500 500k]\nNetwork_Scale = 1x1\n")
+	f.Add("# comment only\n")
+	f.Add("Interface_Number = [1,1]\nNetwork_Type = SNN\nNetwork_Scale=1x1")
+	f.Add("Network_Scale = 4x4\nVariation = 0.3\nCMOS_Tech = 45nm\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var sb strings.Builder
+		if err := c.Write(&sb); err != nil {
+			t.Fatalf("accepted config failed to Write: %v", err)
+		}
+		back, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("Write output failed to re-Parse: %v\n%s", err, sb.String())
+		}
+		if back.CrossbarSize != c.CrossbarSize || back.NetworkType != c.NetworkType ||
+			len(back.NetworkScale) != len(c.NetworkScale) {
+			t.Fatalf("round trip drifted: %+v vs %+v", back, c)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write emits the configuration in the Table I key = value format Parse
+// reads back; Parse(Write(c)) reproduces c. The simulator uses it to dump
+// the effective configuration of a run (defaults resolved).
+func (c *Config) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# MNSIM configuration (Table I format)")
+	if c.NetworkDepth != 0 {
+		fmt.Fprintf(bw, "Network_Depth = %d\n", c.NetworkDepth)
+	}
+	fmt.Fprintf(bw, "Interface_Number = [%d, %d]\n", c.InterfaceNumber[0], c.InterfaceNumber[1])
+	fmt.Fprintf(bw, "Network_Type = %s\n", c.NetworkType)
+	shapes := make([]string, len(c.NetworkScale))
+	for i, s := range c.NetworkScale {
+		shapes[i] = fmt.Sprintf("%dx%d", s.Rows, s.Cols)
+	}
+	fmt.Fprintf(bw, "Network_Scale = %s\n", strings.Join(shapes, ", "))
+	fmt.Fprintf(bw, "Crossbar_Size = %d\n", c.CrossbarSize)
+	fmt.Fprintf(bw, "Pooling_Size = %d\n", c.PoolingSize)
+	fmt.Fprintf(bw, "Spacial_Size = %d\n", c.SpacialSize)
+	fmt.Fprintf(bw, "Weight_Polarity = %d\n", c.WeightPolarity)
+	fmt.Fprintf(bw, "CMOS_Tech = %dnm\n", c.CMOSTech)
+	fmt.Fprintf(bw, "Cell_Type = %s\n", c.CellType)
+	fmt.Fprintf(bw, "Memristor_Model = %s\n", c.MemristorModel)
+	fmt.Fprintf(bw, "Interconnect_Tech = %dnm\n", c.InterconnectTech)
+	fmt.Fprintf(bw, "Parallelism_Degree = %d\n", c.ParallelismDegree)
+	fmt.Fprintf(bw, "Resistance_Range = [%g, %g]\n", c.ResistanceRange[0], c.ResistanceRange[1])
+	fmt.Fprintf(bw, "Weight_Bits = %d\n", c.WeightBits)
+	fmt.Fprintf(bw, "Data_Bits = %d\n", c.DataBits)
+	fmt.Fprintf(bw, "ADC_Design = %s\n", c.ADCDesign)
+	fmt.Fprintf(bw, "Variation = %g\n", c.Variation)
+	fmt.Fprintf(bw, "Inner_Pipeline = %t\n", c.InnerPipeline)
+	return bw.Flush()
+}

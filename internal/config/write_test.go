@@ -1,0 +1,98 @@
+package config
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	c := Default()
+	c.NetworkScale = []LayerShape{{Rows: 2048, Cols: 1024}, {Rows: 1024, Cols: 10}}
+	c.NetworkType = "CNN"
+	c.CrossbarSize = 256
+	c.ParallelismDegree = 16
+	c.Variation = 0.15
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+	}
+	if back.NetworkType != c.NetworkType || back.CrossbarSize != c.CrossbarSize ||
+		back.ParallelismDegree != c.ParallelismDegree || back.Variation != c.Variation {
+		t.Fatalf("round trip lost fields:\n got %+v\nwant %+v", back, c)
+	}
+	if len(back.NetworkScale) != 2 || back.NetworkScale[0] != c.NetworkScale[0] {
+		t.Fatalf("scale lost: %v", back.NetworkScale)
+	}
+	if back.ResistanceRange != c.ResistanceRange {
+		t.Fatalf("range lost: %v", back.ResistanceRange)
+	}
+}
+
+// Property: any valid random configuration survives Write -> Parse intact.
+func TestWriteParseRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	types := []string{"ANN", "SNN", "CNN"}
+	cells := []string{"1T1R", "0T1R"}
+	models := []string{"RRAM", "PCM"}
+	adcs := []string{"VariableSA", "SAR", "Flash"}
+	sizes := []int{2, 32, 128, 1024}
+	for trial := 0; trial < 50; trial++ {
+		c := Default()
+		layers := 1 + rng.Intn(4)
+		c.NetworkScale = nil
+		for l := 0; l < layers; l++ {
+			c.NetworkScale = append(c.NetworkScale, LayerShape{Rows: 1 + rng.Intn(4096), Cols: 1 + rng.Intn(4096)})
+		}
+		c.NetworkType = types[rng.Intn(len(types))]
+		c.CellType = cells[rng.Intn(len(cells))]
+		c.MemristorModel = models[rng.Intn(len(models))]
+		c.ADCDesign = adcs[rng.Intn(len(adcs))]
+		c.CrossbarSize = sizes[rng.Intn(len(sizes))]
+		c.PoolingSize = 1 + rng.Intn(4)
+		c.SpacialSize = 1 + rng.Intn(3)
+		c.WeightPolarity = 1 + rng.Intn(2)
+		c.ParallelismDegree = rng.Intn(256)
+		c.WeightBits = 1 + rng.Intn(16)
+		c.DataBits = 1 + rng.Intn(16)
+		c.Variation = float64(rng.Intn(50)) / 100
+		c.InterfaceNumber = [2]int{1 + rng.Intn(512), 1 + rng.Intn(512)}
+		lo := 1 + rng.Float64()*1e6
+		c.ResistanceRange = [2]float64{lo, lo * (2 + rng.Float64()*100)}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid source config: %v", trial, err)
+		}
+		var sb strings.Builder
+		if err := c.Write(&sb); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		back, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, sb.String())
+		}
+		if back.NetworkType != c.NetworkType || back.CellType != c.CellType ||
+			back.MemristorModel != c.MemristorModel || back.ADCDesign != c.ADCDesign ||
+			back.CrossbarSize != c.CrossbarSize || back.PoolingSize != c.PoolingSize ||
+			back.SpacialSize != c.SpacialSize || back.WeightPolarity != c.WeightPolarity ||
+			back.ParallelismDegree != c.ParallelismDegree || back.WeightBits != c.WeightBits ||
+			back.DataBits != c.DataBits || back.Variation != c.Variation ||
+			back.InterfaceNumber != c.InterfaceNumber {
+			t.Fatalf("trial %d: fields lost:\n got %+v\nwant %+v", trial, back, c)
+		}
+		if len(back.NetworkScale) != len(c.NetworkScale) {
+			t.Fatalf("trial %d: scale count", trial)
+		}
+		for i := range c.NetworkScale {
+			if back.NetworkScale[i] != c.NetworkScale[i] {
+				t.Fatalf("trial %d: layer %d lost", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package dse implements MNSIM's design-space exploration (Section VII.C/D
+// of the paper): a traversal over crossbar size, computation parallelism
+// degree, and interconnect technology node, with an error-rate constraint
+// and per-metric optimal selection. The high simulation speed of the
+// behaviour-level models makes exhaustive traversal practical ("All the
+// 10,220 designs are simulated within 4 seconds").
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/tech"
+)
+
+// Space is the parameter grid to traverse.
+type Space struct {
+	// CrossbarSizes lists the crossbar dimensions to try.
+	CrossbarSizes []int
+	// Parallelisms lists the read-circuit counts p to try; values above a
+	// candidate's column count are skipped for that size.
+	Parallelisms []int
+	// WireNodes lists interconnect technology nodes (nm).
+	WireNodes []int
+}
+
+// DefaultSpace reproduces the paper's large-bank exploration ranges:
+// crossbar size doubling from 4 to 1024, parallelism degree 1–128 plus the
+// fully-parallel point, interconnect from {18,22,28,36,45} nm.
+func DefaultSpace() Space {
+	return Space{
+		CrossbarSizes: []int{4, 8, 16, 32, 64, 128, 256, 512, 1024},
+		Parallelisms:  []int{1, 2, 4, 8, 16, 32, 64, 128, 256},
+		WireNodes:     []int{18, 22, 28, 36, 45},
+	}
+}
+
+// Candidate is one evaluated design point.
+type Candidate struct {
+	CrossbarSize int
+	Parallelism  int
+	WireNode     int
+	Report       arch.Report
+	// Feasible is false when the design violates the error constraint; such
+	// candidates are kept for trade-off plots but excluded from Best.
+	Feasible bool
+}
+
+// Objective selects the optimization target of Best (Tables IV/VI columns).
+type Objective int
+
+const (
+	// MinArea minimises layout area.
+	MinArea Objective = iota
+	// MinEnergy minimises energy per input sample.
+	MinEnergy
+	// MinLatency minimises the pipeline-cycle latency.
+	MinLatency
+	// MaxAccuracy minimises the output error rate.
+	MaxAccuracy
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinArea:
+		return "Area"
+	case MinEnergy:
+		return "Energy"
+	case MinLatency:
+		return "Latency"
+	case MaxAccuracy:
+		return "Accuracy"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Objectives lists the four case-study optimization targets in table order.
+func Objectives() []Objective {
+	return []Objective{MinArea, MinEnergy, MinLatency, MaxAccuracy}
+}
+
+// metric extracts the (to-be-minimised) objective value of a candidate.
+func (o Objective) metric(c *Candidate) float64 {
+	switch o {
+	case MinArea:
+		return c.Report.AreaMM2
+	case MinEnergy:
+		return c.Report.EnergyPerSample
+	case MinLatency:
+		return c.Report.PipelineCycle
+	case MaxAccuracy:
+		return math.Abs(c.Report.ErrorWorst)
+	default:
+		return math.NaN()
+	}
+}
+
+// Options tunes an exploration run.
+type Options struct {
+	// ErrorLimit is the feasibility constraint on the worst-case output
+	// error rate (the paper uses 25% for the large bank, 50% for VGG-16).
+	ErrorLimit float64
+	// Interface is the accelerator I/O line pair.
+	Interface [2]int
+}
+
+// Explore traverses the space, evaluating one accelerator per grid point.
+// The base design supplies everything except the three swept parameters.
+// Grid points that cannot be built (e.g. a crossbar too small for one
+// weight) are skipped silently — they are outside the feasible space.
+func Explore(base arch.Design, layers []arch.LayerDims, space Space, opt Options) ([]Candidate, error) {
+	if opt.ErrorLimit <= 0 {
+		opt.ErrorLimit = 0.25
+	}
+	if opt.Interface == ([2]int{}) {
+		opt.Interface = [2]int{128, 128}
+	}
+	if len(space.CrossbarSizes) == 0 || len(space.Parallelisms) == 0 || len(space.WireNodes) == 0 {
+		return nil, fmt.Errorf("dse: empty exploration space")
+	}
+	var out []Candidate
+	for _, node := range space.WireNodes {
+		wire, err := tech.Interconnect(node)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range space.CrossbarSizes {
+			for _, p := range space.Parallelisms {
+				if p > size {
+					continue
+				}
+				d := base
+				d.CrossbarSize = size
+				d.Parallelism = p
+				d.Wire = wire
+				a, err := arch.NewAccelerator(&d, layers, opt.Interface)
+				if err != nil {
+					continue // infeasible grid point (e.g. weight overflow)
+				}
+				r, err := a.Evaluate()
+				if err != nil {
+					return nil, fmt.Errorf("dse: size %d p %d node %d: %w", size, p, node, err)
+				}
+				out = append(out, Candidate{
+					CrossbarSize: size,
+					Parallelism:  p,
+					WireNode:     node,
+					Report:       r,
+					Feasible:     math.Abs(r.ErrorWorst) <= opt.ErrorLimit,
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: no buildable design in the space")
+	}
+	return out, nil
+}
+
+// Best returns the feasible candidate minimising the objective, or nil when
+// no candidate is feasible.
+func Best(cands []Candidate, obj Objective) *Candidate {
+	var best *Candidate
+	for i := range cands {
+		c := &cands[i]
+		if !c.Feasible {
+			continue
+		}
+		if best == nil || obj.metric(c) < obj.metric(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// BestWithSecondary implements the paper's secondary-target rule
+// (Section VII.C.1: "the user can set a secondary optimization target for
+// accuracy optimization" — digital-module choices that do not move the
+// primary metric can still improve another one). Among feasible candidates
+// whose primary metric lies within tolerance (fractional) of the optimum,
+// it returns the one minimising the secondary objective.
+func BestWithSecondary(cands []Candidate, primary, secondary Objective, tolerance float64) *Candidate {
+	first := Best(cands, primary)
+	if first == nil {
+		return nil
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	limit := primary.metric(first) * (1 + tolerance)
+	var best *Candidate
+	for i := range cands {
+		c := &cands[i]
+		if !c.Feasible || primary.metric(c) > limit {
+			continue
+		}
+		if best == nil || secondary.metric(c) < secondary.metric(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Pareto returns the candidates not dominated on (area, pipeline latency) —
+// the trade-off front of Fig. 8. The result is sorted by area.
+func Pareto(cands []Candidate) []Candidate {
+	var front []Candidate
+	for _, c := range cands {
+		dominated := false
+		for _, d := range cands {
+			betterArea := d.Report.AreaMM2 <= c.Report.AreaMM2
+			betterLat := d.Report.PipelineCycle <= c.Report.PipelineCycle
+			strict := d.Report.AreaMM2 < c.Report.AreaMM2 || d.Report.PipelineCycle < c.Report.PipelineCycle
+			if betterArea && betterLat && strict {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Report.AreaMM2 < front[j].Report.AreaMM2 })
+	return front
+}
+
+// RadarFactors computes the five normalized performance factors of Fig. 9
+// for each selected design: reciprocal area, energy efficiency (reciprocal
+// energy), reciprocal power, speed (reciprocal latency), and accuracy
+// (1 − error). The first four are normalized by the maximum across the
+// selected designs, matching the paper's normalization.
+func RadarFactors(selected []Candidate) [][5]float64 {
+	if len(selected) == 0 {
+		return nil
+	}
+	inv := func(v float64) float64 {
+		if v <= 0 {
+			return 0
+		}
+		return 1 / v
+	}
+	raw := make([][5]float64, len(selected))
+	var maxes [4]float64
+	for i, c := range selected {
+		raw[i] = [5]float64{
+			inv(c.Report.AreaMM2),
+			inv(c.Report.EnergyPerSample),
+			inv(c.Report.Power),
+			inv(c.Report.PipelineCycle),
+			1 - math.Abs(c.Report.ErrorWorst),
+		}
+		for k := 0; k < 4; k++ {
+			if raw[i][k] > maxes[k] {
+				maxes[k] = raw[i][k]
+			}
+		}
+	}
+	for i := range raw {
+		for k := 0; k < 4; k++ {
+			if maxes[k] > 0 {
+				raw[i][k] /= maxes[k]
+			}
+		}
+	}
+	return raw
+}

@@ -1,0 +1,42 @@
+package dse
+
+import "testing"
+
+func TestBestWithSecondary(t *testing.T) {
+	cands := explore(t)
+	primary := Best(cands, MaxAccuracy)
+	// Within 20% of the best accuracy, pick the smallest area — the
+	// paper's "secondary optimization target".
+	tie := BestWithSecondary(cands, MaxAccuracy, MinArea, 0.20)
+	if tie == nil {
+		t.Fatal("no candidate")
+	}
+	if tie.Report.AreaMM2 > primary.Report.AreaMM2 {
+		t.Fatalf("secondary target failed to improve area: %v vs %v", tie.Report.AreaMM2, primary.Report.AreaMM2)
+	}
+	// The tie-broken design still honours the tolerance on the primary.
+	limit := MaxAccuracy.metric(primary) * 1.20
+	if MaxAccuracy.metric(tie) > limit {
+		t.Fatalf("secondary pick violates the primary tolerance: %v > %v", MaxAccuracy.metric(tie), limit)
+	}
+	// Zero tolerance degenerates to Best (possibly a different but
+	// equally-good candidate).
+	exact := BestWithSecondary(cands, MaxAccuracy, MinArea, 0)
+	if exact == nil || MaxAccuracy.metric(exact) > MaxAccuracy.metric(primary) {
+		t.Fatal("zero tolerance should keep the primary optimum")
+	}
+	// Negative tolerance clamps to zero rather than excluding the optimum.
+	if BestWithSecondary(cands, MaxAccuracy, MinArea, -1) == nil {
+		t.Fatal("negative tolerance should behave like zero")
+	}
+}
+
+func TestBestWithSecondaryInfeasible(t *testing.T) {
+	cands := explore(t)
+	for i := range cands {
+		cands[i].Feasible = false
+	}
+	if BestWithSecondary(cands, MinArea, MinEnergy, 0.1) != nil {
+		t.Fatal("infeasible set should return nil")
+	}
+}

@@ -1,0 +1,104 @@
+package funcsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mnsim/internal/nn"
+)
+
+func randomKernels(kw, kh, inC, outC int, rng *rand.Rand) *nn.ConvKernels {
+	ws := make([][]float64, outC)
+	for k := range ws {
+		ws[k] = make([]float64, kw*kh*inC)
+		for i := range ws[k] {
+			ws[k][i] = rng.Float64()*2 - 1
+		}
+	}
+	kern, err := nn.NewConvKernels(kw, kh, inC, ws)
+	if err != nil {
+		panic(err)
+	}
+	return kern
+}
+
+func randomImage(w, h, c int, rng *rand.Rand) *nn.Tensor3 {
+	t := nn.NewTensor3(w, h, c)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()
+	}
+	return t
+}
+
+// The crossbar-executed convolution must track the exact convolution: same
+// output ordering (high correlation) within the quantization budget.
+func TestRunConvTracksExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := machine(t, 64, 8, 4) // machine only supplies the design for conv
+	in := randomImage(6, 6, 2, rng)
+	k := randomKernels(3, 3, 2, 4, rng)
+	hw, err := m.RunConv(in, k, ConvOptions{Stride: 1, Pad: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := nn.Conv2D(in, k, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.W != exact.W || hw.H != exact.H || hw.C != exact.C {
+		t.Fatalf("shape %dx%dx%d vs %dx%dx%d", hw.W, hw.H, hw.C, exact.W, exact.H, exact.C)
+	}
+	if r := pearson(hw.Data, exact.Data); r < 0.95 {
+		t.Fatalf("correlation %.3f too low", r)
+	}
+}
+
+func TestRunConvDefaultStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := machine(t, 64, 8, 4)
+	in := randomImage(5, 5, 1, rng)
+	k := randomKernels(3, 3, 1, 2, rng)
+	out, err := m.RunConv(in, k, ConvOptions{}) // stride defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != 3 || out.H != 3 {
+		t.Fatalf("shape %dx%d, want 3x3", out.W, out.H)
+	}
+}
+
+func TestRunConvWithInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := machine(t, 64, 8, 4)
+	in := randomImage(5, 5, 1, rng)
+	k := randomKernels(3, 3, 1, 2, rng)
+	clean, err := m.RunConv(in, k, ConvOptions{Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := m.RunConv(in, k, ConvOptions{Stride: 1, InjectError: true, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range clean.Data {
+		diff += math.Abs(clean.Data[i] - noisy.Data[i])
+	}
+	if diff == 0 {
+		t.Fatal("injection had no effect")
+	}
+	if _, err := m.RunConv(in, k, ConvOptions{InjectError: true}); err == nil {
+		t.Error("injection without RNG accepted")
+	}
+}
+
+func TestRunConvErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := machine(t, 64, 8, 4)
+	in := randomImage(4, 4, 2, rng)
+	wrong := randomKernels(3, 3, 3, 2, rng) // channel mismatch
+	if _, err := m.RunConv(in, wrong, ConvOptions{Stride: 1}); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}

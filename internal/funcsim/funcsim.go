@@ -1,0 +1,230 @@
+// Package funcsim is the functional simulator of a mapped accelerator: it
+// executes a fully-connected network exactly the way the hardware does —
+// weights decomposed onto crossbars by the mapper, each block computing the
+// analog matrix-vector product of Eq. 1–2, the adder tree merging row
+// blocks and signed pairs (Eq. 5), the read circuits quantizing to the ADC
+// level count, and the neuron modules applying the non-linearity — with the
+// behaviour-level accuracy model's deviation optionally injected per block.
+//
+// It closes the loop between the performance models (package arch) and the
+// application: the same Design that produced an area/latency report also
+// produces the network's actual outputs and its end-to-end accuracy.
+package funcsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mnsim/internal/accuracy"
+	"mnsim/internal/arch"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/mapper"
+	"mnsim/internal/nn"
+)
+
+// Machine is a network mapped onto an accelerator design, ready to execute
+// samples.
+type Machine struct {
+	Design *arch.Design
+	Net    *nn.FCNet
+	// Images holds one programming image per layer.
+	Images []*mapper.Image
+	// Accel is the matching performance model (for latency/energy of the
+	// executed samples).
+	Accel *arch.Accelerator
+}
+
+// NewMachine maps every layer of the network onto the design.
+func NewMachine(d *arch.Design, net *nn.FCNet) (*Machine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(net.Weights) == 0 {
+		return nil, fmt.Errorf("funcsim: network %q has no layers", net.Name)
+	}
+	m := &Machine{Design: d, Net: net}
+	var layers []arch.LayerDims
+	for l, w := range net.Weights {
+		img, err := mapper.Map(d, w)
+		if err != nil {
+			return nil, fmt.Errorf("funcsim: layer %d: %w", l, err)
+		}
+		m.Images = append(m.Images, img)
+		layers = append(layers, arch.LayerDims{Rows: len(w), Cols: len(w[0]), Passes: 1})
+	}
+	a, err := arch.NewAccelerator(d, layers, [2]int{128, 128})
+	if err != nil {
+		return nil, err
+	}
+	m.Accel = a
+	return m, nil
+}
+
+// RunOptions controls one inference.
+type RunOptions struct {
+	// InjectError enables the behaviour-level deviation: each block's
+	// analog output is perturbed by a uniform relative error within the
+	// model's per-crossbar ε (average case), sampled per block.
+	InjectError bool
+	// Rng drives the error injection; required when InjectError is set.
+	Rng *rand.Rand
+	// Act is the inter-layer neuron function (Sigmoid if nil).
+	Act nn.Activation
+}
+
+// Run executes one input sample (values in [0,1]) through the mapped
+// machine and returns the output vector (values in [-1,1] scale of the
+// layer outputs).
+func (m *Machine) Run(input []float64, opt RunOptions) ([]float64, error) {
+	if opt.InjectError && opt.Rng == nil {
+		return nil, fmt.Errorf("funcsim: error injection needs an RNG")
+	}
+	act := opt.Act
+	if act == nil {
+		act = nn.Sigmoid
+	}
+	cur := append([]float64(nil), input...)
+	for l, img := range m.Images {
+		if len(cur) != img.Rows {
+			return nil, fmt.Errorf("funcsim: layer %d expects %d inputs, got %d", l, img.Rows, len(cur))
+		}
+		out, err := m.runLayer(img, cur, opt)
+		if err != nil {
+			return nil, fmt.Errorf("funcsim: layer %d: %w", l, err)
+		}
+		if l < len(m.Images)-1 {
+			for j := range out {
+				out[j] = act(out[j])
+			}
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// runLayer executes one mapped layer: every block computes its analog MVM,
+// the signed pair subtracts, the adder tree sums the row blocks, and the
+// result quantizes to the ADC level count.
+func (m *Machine) runLayer(img *mapper.Image, input []float64, opt RunOptions) ([]float64, error) {
+	return runImage(m.Design, img, input, opt)
+}
+
+// runImage is the block-level execution shared by the FC and conv paths.
+func runImage(d *arch.Design, img *mapper.Image, input []float64, opt RunOptions) ([]float64, error) {
+	s := d.CrossbarSize
+	logicalCols := s / d.CellsPerWeight()
+	out := make([]float64, img.Cols)
+	xp := d.Crossbar(s, s)
+	var eps float64
+	if opt.InjectError {
+		e, err := accuracy.Eval(xp)
+		if err != nil {
+			return nil, err
+		}
+		eps = math.Abs(e.Avg)
+	}
+	fullScale := xp.OutputFullScale()
+	adcLevels := float64(int(1)<<uint(d.ADCBits())) - 1
+	for bi := range img.Blocks {
+		blk := &img.Blocks[bi]
+		r0 := blk.RowBlock * s
+		c0 := blk.ColBlock * logicalCols
+		vin := make([]float64, blk.Rows)
+		for r := range vin {
+			x := input[r0+r]
+			vin[r] = math.Max(0, math.Min(1, x)) * xp.VDrive
+		}
+		// One analog MVM per physical crossbar of the unit.
+		perXbar := make([][]float64, len(blk.Cells))
+		for x, cells := range blk.Cells {
+			g := make([][]float64, blk.Rows)
+			for r := range g {
+				g[r] = make([]float64, len(cells[r]))
+				for c, asg := range cells[r] {
+					g[r][c] = 1 / asg.Resistance
+				}
+			}
+			p := crossbar.Params{
+				Rows: blk.Rows, Cols: len(cells[0]),
+				Dev: d.Dev, Wire: d.Wire, RSense: xp.RSense, VDrive: xp.VDrive,
+			}
+			v, err := p.IdealMVM(g, vin)
+			if err != nil {
+				return nil, err
+			}
+			if opt.InjectError {
+				dev := 1 + eps*(2*opt.Rng.Float64()-1)
+				for j := range v {
+					v[j] *= dev
+				}
+			}
+			perXbar[x] = v
+		}
+		// Read circuits: signed merge, normalise, quantize, accumulate into
+		// the layer outputs (the adder tree of Eq. 5).
+		slices := d.BitSlices()
+		for c := 0; c < blk.LogicalCols; c++ {
+			pos, neg := 0.0, 0.0
+			switch {
+			case d.WeightPolarity == 1:
+				pos = sliceValue(perXbar[0], c*slices, slices, d.Dev.LevelBits)
+			case d.TwoCrossbarSigned:
+				pos = sliceValue(perXbar[0], c*slices, slices, d.Dev.LevelBits)
+				neg = sliceValue(perXbar[1], c*slices, slices, d.Dev.LevelBits)
+			default:
+				pos = sliceValue(perXbar[0], c*2*slices, slices, d.Dev.LevelBits)
+				neg = sliceValue(perXbar[0], c*2*slices+slices, slices, d.Dev.LevelBits)
+			}
+			y := (pos - neg) / fullScale
+			// ADC quantization of each merged block result.
+			y = math.Round(y*adcLevels) / adcLevels
+			out[c0+c] += y
+		}
+	}
+	// Normalise the row-block accumulation like the hardware's fixed-point
+	// rescale after the adder tree.
+	rowBlocks := (img.Rows + s - 1) / s
+	for j := range out {
+		out[j] /= float64(rowBlocks)
+	}
+	return out, nil
+}
+
+// sliceValue merges the bit-sliced column voltages of one logical weight:
+// slice 0 is the most significant, each following slice is worth 2^-cellBits
+// of the previous (the shifter-and-adder-tree merge of Section III.B.2).
+func sliceValue(v []float64, col, slices, cellBits int) float64 {
+	total, weight := 0.0, 1.0
+	for sl := 0; sl < slices; sl++ {
+		total += v[col+sl] * weight
+		weight /= float64(int(1) << uint(cellBits))
+	}
+	return total
+}
+
+// Accuracy runs a batch of samples with and without error injection and
+// returns the mean relative accuracy — the end-to-end counterpart of the
+// behaviour-level model's layer-wise estimate.
+func (m *Machine) Accuracy(inputs [][]float64, rng *rand.Rand) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("funcsim: no input samples")
+	}
+	sum := 0.0
+	for i, in := range inputs {
+		ideal, err := m.Run(in, RunOptions{})
+		if err != nil {
+			return 0, fmt.Errorf("funcsim: sample %d: %w", i, err)
+		}
+		got, err := m.Run(in, RunOptions{InjectError: true, Rng: rng})
+		if err != nil {
+			return 0, fmt.Errorf("funcsim: sample %d: %w", i, err)
+		}
+		acc, err := nn.RelativeAccuracy(ideal, got)
+		if err != nil {
+			return 0, err
+		}
+		sum += acc
+	}
+	return sum / float64(len(inputs)), nil
+}

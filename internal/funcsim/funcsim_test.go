@@ -1,0 +1,243 @@
+package funcsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/device"
+	"mnsim/internal/nn"
+	"mnsim/internal/periph"
+	"mnsim/internal/tech"
+)
+
+func refDesign(size int) *arch.Design {
+	return &arch.Design{
+		CrossbarSize:      size,
+		WeightPolarity:    2,
+		TwoCrossbarSigned: true,
+		WeightBits:        4,
+		DataBits:          8,
+		CMOS:              tech.MustNode(45),
+		Wire:              tech.MustInterconnect(45),
+		Dev:               device.RRAM(),
+		ADC:               periph.ADCVariableSA,
+		Neuron:            periph.NeuronSigmoid,
+		AreaCoefficient:   arch.DefaultAreaCoefficient,
+	}
+}
+
+func machine(t *testing.T, size int, widths ...int) *Machine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	net, err := nn.RandomFCNet("test", rng, widths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(refDesign(size), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMachine(t *testing.T) {
+	m := machine(t, 64, 100, 40, 10)
+	if len(m.Images) != 2 {
+		t.Fatalf("images = %d", len(m.Images))
+	}
+	if len(m.Accel.Banks) != 2 {
+		t.Fatalf("banks = %d", len(m.Accel.Banks))
+	}
+	// The machine's performance model evaluates alongside.
+	if _, err := m.Accel.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMachineErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := nn.RandomFCNet("x", rng, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := refDesign(64)
+	bad.WeightBits = 0
+	if _, err := NewMachine(bad, net); err == nil {
+		t.Error("invalid design accepted")
+	}
+	if _, err := NewMachine(refDesign(64), &nn.FCNet{Name: "empty"}); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+// The mapped machine's error-free output must track the quantized software
+// forward pass: the analog MVM computes the same weighted sums (up to the
+// weight/data quantization and analog normalisation).
+func TestRunTracksSoftwareForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := machine(t, 64, 48, 16)
+	input := make([]float64, 48)
+	for i := range input {
+		input[i] = rng.Float64()
+	}
+	hw, err := m.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hw) != 16 {
+		t.Fatalf("outputs = %d", len(hw))
+	}
+	// Software reference: the same weights, no quantization. The two are
+	// different scales, so compare correlation (order agreement), not
+	// absolute values.
+	sw, err := m.Net.Forward(input, nn.ForwardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pearson(hw, sw) < 0.95 {
+		t.Fatalf("hardware/software correlation %.3f too low\nhw=%v\nsw=%v", pearson(hw, sw), hw, sw)
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	num := sab - sa*sb/n
+	den := math.Sqrt((saa - sa*sa/n) * (sbb - sb*sb/n))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// A network tiled over multiple blocks must agree with the same network on
+// a single big crossbar (the adder-tree merge is exact).
+func TestTilingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := nn.RandomFCNet("tile", rng, 96, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewMachine(refDesign(32), net) // 3 row blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewMachine(refDesign(128), net) // 1 block
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, 96)
+	for i := range input {
+		input[i] = rng.Float64()
+	}
+	a, err := small.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := big.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pearson(a, b) < 0.98 {
+		t.Fatalf("tiled/monolithic correlation %.3f too low", pearson(a, b))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := machine(t, 64, 8, 4)
+	if _, err := m.Run([]float64{1}, RunOptions{}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := m.Run(make([]float64, 8), RunOptions{InjectError: true}); err == nil {
+		t.Error("injection without RNG accepted")
+	}
+}
+
+// Error injection degrades but does not destroy the output.
+func TestAccuracyWithInjection(t *testing.T) {
+	m := machine(t, 64, 64, 16, 64)
+	rng := rand.New(rand.NewSource(4))
+	inputs := make([][]float64, 5)
+	for i := range inputs {
+		inputs[i] = make([]float64, 64)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float64()
+		}
+	}
+	acc, err := m.Accuracy(inputs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 || acc > 1 {
+		t.Fatalf("relative accuracy %v outside [0.9, 1]", acc)
+	}
+	if _, err := m.Accuracy(nil, rng); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+// Determinism without injection.
+func TestRunDeterministic(t *testing.T) {
+	m := machine(t, 64, 16, 8)
+	input := make([]float64, 16)
+	for i := range input {
+		input[i] = float64(i) / 16
+	}
+	a, err := m.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+// The same-crossbar signed mapping must agree with the two-crossbar one.
+func TestSignedMappingsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := nn.RandomFCNet("signed", rng, 24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTwo := refDesign(64)
+	dSame := refDesign(64)
+	dSame.TwoCrossbarSigned = false
+	mTwo, err := NewMachine(dTwo, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSame, err := NewMachine(dSame, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, 24)
+	for i := range input {
+		input[i] = rng.Float64()
+	}
+	a, err := mTwo.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mSame.Run(input, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pearson(a, b) < 0.97 {
+		t.Fatalf("mapping correlation %.3f too low", pearson(a, b))
+	}
+}

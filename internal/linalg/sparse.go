@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is one (row, col, value) triplet used while assembling a sparse
+// matrix; duplicate coordinates are summed, matching MNA stamping semantics.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix. Build one from triplets with
+// NewCSR; the circuit solver re-stamps values each Newton iteration via
+// UpdateValues without re-deriving the sparsity pattern.
+type CSR struct {
+	N       int // square dimension
+	RowPtr  []int
+	ColIdx  []int
+	Vals    []float64
+	permMap []int // triplet index -> position in Vals (for UpdateValues)
+}
+
+// NewCSR assembles an n×n CSR matrix from triplets, summing duplicates.
+// The mapping from each input triplet to its merged slot is retained so the
+// same triplet slice (with updated Vals) can refresh the matrix in place.
+func NewCSR(n int, trips []Coord) (*CSR, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("linalg: invalid CSR dimension %d", n)
+	}
+	for _, t := range trips {
+		if t.Row < 0 || t.Row >= n || t.Col < 0 || t.Col >= n {
+			return nil, fmt.Errorf("linalg: triplet (%d,%d) outside %d×%d", t.Row, t.Col, n, n)
+		}
+	}
+	// Sort triplet indices by (row, col) to find unique slots.
+	order := make([]int, len(trips))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := trips[order[a]], trips[order[b]]
+		if ta.Row != tb.Row {
+			return ta.Row < tb.Row
+		}
+		return ta.Col < tb.Col
+	})
+	m := &CSR{N: n, RowPtr: make([]int, n+1), permMap: make([]int, len(trips))}
+	prevRow, prevCol := -1, -1
+	for _, idx := range order {
+		t := trips[idx]
+		if t.Row != prevRow || t.Col != prevCol {
+			m.ColIdx = append(m.ColIdx, t.Col)
+			m.Vals = append(m.Vals, 0)
+			for r := prevRow + 1; r <= t.Row; r++ {
+				m.RowPtr[r] = len(m.Vals) - 1
+			}
+			prevRow, prevCol = t.Row, t.Col
+		}
+		slot := len(m.Vals) - 1
+		m.Vals[slot] += t.Val
+		m.permMap[idx] = slot
+	}
+	for r := prevRow + 1; r <= n; r++ {
+		m.RowPtr[r] = len(m.Vals)
+	}
+	return m, nil
+}
+
+// UpdateValues re-stamps the matrix from a triplet slice with the same
+// sparsity pattern (same rows/cols in the same order) as the one passed to
+// NewCSR. Only the values are read.
+func (m *CSR) UpdateValues(trips []Coord) error {
+	if len(trips) != len(m.permMap) {
+		return fmt.Errorf("linalg: UpdateValues got %d triplets, pattern has %d", len(trips), len(m.permMap))
+	}
+	for i := range m.Vals {
+		m.Vals[i] = 0
+	}
+	for i, t := range trips {
+		m.Vals[m.permMap[i]] += t.Val
+	}
+	return nil
+}
+
+// MulVec computes y = M·x, reusing y if it has the right length.
+func (m *CSR) MulVec(x, y []float64) []float64 {
+	if len(x) != m.N {
+		panic(fmt.Sprintf("linalg: CSR MulVec got %d, want %d", len(x), m.N))
+	}
+	if len(y) != m.N {
+		y = make([]float64, m.N)
+	}
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Diagonal extracts the matrix diagonal (zero where absent).
+func (m *CSR) Diagonal() []float64 {
+	d := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] == i {
+				d[i] = m.Vals[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// ErrNoConvergence is returned when an iterative solve exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
+
+// CGOptions tunes SolveCG.
+type CGOptions struct {
+	// Tol is the relative residual target ‖b−Ax‖/‖b‖; default 1e-10.
+	Tol float64
+	// MaxIter bounds iterations; default 10·N.
+	MaxIter int
+}
+
+// SolveCG solves A·x = b for a symmetric positive-definite CSR matrix with
+// Jacobi-preconditioned conjugate gradients. Resistor-network conductance
+// matrices are SPD and strongly diagonally dominant, so CG converges in far
+// fewer iterations than N. x0 may be nil.
+func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, 0, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	diag := a.Diagonal()
+	inv := make([]float64, n)
+	for i, d := range diag {
+		if d == 0 {
+			return nil, 0, fmt.Errorf("linalg: zero diagonal at %d, Jacobi preconditioner undefined", i)
+		}
+		inv[i] = 1 / d
+	}
+	r := make([]float64, n)
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := Norm2(b)
+	if normB == 0 {
+		return x, 0, nil // b = 0 → x = 0 (or x0-projected; zero is the SPD solution)
+	}
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = inv[i] * r[i]
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	rz := Dot(r, z)
+	ap := make([]float64, n)
+	for it := 1; it <= opt.MaxIter; it++ {
+		a.MulVec(p, ap)
+		alpha := rz / Dot(p, ap)
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		if Norm2(r)/normB < opt.Tol {
+			return x, it, nil
+		}
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, opt.MaxIter, ErrNoConvergence
+}
+
+// IsSymmetric reports whether the matrix is numerically symmetric within
+// tolerance tol; used by tests and solver self-checks.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j < i {
+				continue
+			}
+			if math.Abs(m.Vals[k]-m.at(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *CSR) at(i, j int) float64 {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		if m.ColIdx[k] == j {
+			return m.Vals[k]
+		}
+	}
+	return 0
+}

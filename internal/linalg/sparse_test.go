@@ -1,0 +1,205 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCSRAssemblySumsDuplicates(t *testing.T) {
+	trips := []Coord{{0, 0, 1}, {0, 0, 2}, {1, 1, 5}, {0, 1, -1}}
+	m, err := NewCSR(2, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.at(0, 0); got != 3 {
+		t.Errorf("(0,0) = %v, want 3", got)
+	}
+	if got := m.at(0, 1); got != -1 {
+		t.Errorf("(0,1) = %v, want -1", got)
+	}
+	if got := m.at(1, 0); got != 0 {
+		t.Errorf("(1,0) = %v, want 0", got)
+	}
+}
+
+func TestCSRRejectsBadInput(t *testing.T) {
+	if _, err := NewCSR(0, nil); err == nil {
+		t.Error("dimension 0 should fail")
+	}
+	if _, err := NewCSR(2, []Coord{{2, 0, 1}}); err == nil {
+		t.Error("out-of-range row should fail")
+	}
+	if _, err := NewCSR(2, []Coord{{0, -1, 1}}); err == nil {
+		t.Error("negative col should fail")
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	m, err := NewCSR(3, []Coord{{0, 0, 2}, {1, 1, 3}, {2, 0, 1}, {2, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := m.MulVec([]float64{1, 2, 3}, nil)
+	want := []float64{2, 6, 13}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestCSREmptyRow(t *testing.T) {
+	// Row 1 has no entries; RowPtr must still be consistent.
+	m, err := NewCSR(3, []Coord{{0, 0, 1}, {2, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := m.MulVec([]float64{5, 6, 7}, nil)
+	if y[0] != 5 || y[1] != 0 || y[2] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestCSRUpdateValues(t *testing.T) {
+	trips := []Coord{{0, 0, 1}, {0, 0, 1}, {1, 1, 2}}
+	m, err := NewCSR(2, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips[0].Val = 5
+	trips[1].Val = 5
+	trips[2].Val = 7
+	if err := m.UpdateValues(trips); err != nil {
+		t.Fatal(err)
+	}
+	if m.at(0, 0) != 10 || m.at(1, 1) != 7 {
+		t.Fatalf("after update: (0,0)=%v (1,1)=%v", m.at(0, 0), m.at(1, 1))
+	}
+	if err := m.UpdateValues(trips[:1]); err == nil {
+		t.Fatal("pattern mismatch should fail")
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m, err := NewCSR(3, []Coord{{0, 0, 4}, {1, 2, 9}, {2, 2, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagonal()
+	if d[0] != 4 || d[1] != 0 || d[2] != 6 {
+		t.Fatalf("Diagonal = %v", d)
+	}
+}
+
+// randomSPD builds a random symmetric diagonally dominant sparse matrix.
+func randomSPD(n int, rng *rand.Rand) (*CSR, []Coord) {
+	var trips []Coord
+	rowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -math.Abs(rng.NormFloat64())
+			trips = append(trips, Coord{i, j, v}, Coord{j, i, v})
+			rowSum[i] += -v
+			rowSum[j] += -v
+		}
+	}
+	for i := 0; i < n; i++ {
+		trips = append(trips, Coord{i, i, rowSum[i] + 1 + rng.Float64()})
+	}
+	m, err := NewCSR(n, trips)
+	if err != nil {
+		panic(err)
+	}
+	return m, trips
+}
+
+func TestSolveCGRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(200)
+		m, _ := randomSPD(n, rng)
+		if !m.IsSymmetric(1e-12) {
+			t.Fatal("test matrix should be symmetric")
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, iters, err := SolveCG(m, b, nil, CGOptions{})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if iters <= 0 {
+			t.Fatalf("trial %d: reported %d iterations", trial, iters)
+		}
+		r := m.MulVec(x, nil)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		if Norm2(r) > 1e-8*(1+Norm2(b)) {
+			t.Fatalf("trial %d: residual %v", trial, Norm2(r))
+		}
+	}
+}
+
+func TestSolveCGZeroRHS(t *testing.T) {
+	m, _ := NewCSR(2, []Coord{{0, 0, 1}, {1, 1, 1}})
+	x, iters, err := SolveCG(m, []float64{0, 0}, nil, CGOptions{})
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: %v, %d", err, iters)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveCGWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := randomSPD(100, rng)
+	b := make([]float64, 100)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, coldIters, err := SolveCG(m, b, nil, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warmIters, err := SolveCG(m, b, x, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmIters > coldIters {
+		t.Fatalf("warm start took %d iters, cold %d", warmIters, coldIters)
+	}
+}
+
+func TestSolveCGErrors(t *testing.T) {
+	m, _ := NewCSR(2, []Coord{{0, 0, 1}, {1, 1, 1}})
+	if _, _, err := SolveCG(m, []float64{1}, nil, CGOptions{}); err == nil {
+		t.Error("short rhs should fail")
+	}
+	zeroDiag, _ := NewCSR(2, []Coord{{0, 1, 1}, {1, 0, 1}})
+	if _, _, err := SolveCG(zeroDiag, []float64{1, 1}, nil, CGOptions{}); err == nil {
+		t.Error("zero diagonal should fail")
+	}
+	if _, _, err := SolveCG(m, []float64{1, 1}, nil, CGOptions{MaxIter: 0, Tol: 1e-30}); err != nil {
+		// MaxIter 0 defaults to 10N which is plenty for identity.
+		t.Errorf("identity solve failed: %v", err)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym, _ := NewCSR(2, []Coord{{0, 1, 2}, {1, 0, 2}, {0, 0, 1}, {1, 1, 1}})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym, _ := NewCSR(2, []Coord{{0, 1, 2}, {1, 0, 3}, {0, 0, 1}, {1, 1, 1}})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}

@@ -1,0 +1,210 @@
+package nn
+
+import "fmt"
+
+// Tensor3 is a W×H×C feature map stored as data[(y·W+x)·C + c].
+type Tensor3 struct {
+	W, H, C int
+	Data    []float64
+}
+
+// NewTensor3 allocates a zero feature map.
+func NewTensor3(w, h, c int) *Tensor3 {
+	if w < 1 || h < 1 || c < 1 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%dx%d", w, h, c))
+	}
+	return &Tensor3{W: w, H: h, C: c, Data: make([]float64, w*h*c)}
+}
+
+// At returns element (x, y, c); out-of-bounds coordinates read as zero
+// (implicit padding).
+func (t *Tensor3) At(x, y, c int) float64 {
+	if x < 0 || x >= t.W || y < 0 || y >= t.H {
+		return 0
+	}
+	return t.Data[(y*t.W+x)*t.C+c]
+}
+
+// Set assigns element (x, y, c).
+func (t *Tensor3) Set(x, y, c int, v float64) {
+	t.Data[(y*t.W+x)*t.C+c] = v
+}
+
+// ConvKernels holds a Conv layer's weights: kernels[k] is the flattened
+// kw×kh×inC kernel of output channel k, in the row order the crossbar
+// mapping uses ((ky, kx, c) major to minor).
+type ConvKernels struct {
+	KW, KH, InC, OutC int
+	Weights           [][]float64 // [OutC][KW*KH*InC]
+}
+
+// NewConvKernels validates and wraps kernel weights.
+func NewConvKernels(kw, kh, inC int, weights [][]float64) (*ConvKernels, error) {
+	if kw < 1 || kh < 1 || inC < 1 || len(weights) == 0 {
+		return nil, fmt.Errorf("nn: invalid kernel geometry %dx%dx%d with %d outputs", kw, kh, inC, len(weights))
+	}
+	want := kw * kh * inC
+	for k, w := range weights {
+		if len(w) != want {
+			return nil, fmt.Errorf("nn: kernel %d has %d weights, want %d", k, len(w), want)
+		}
+	}
+	return &ConvKernels{KW: kw, KH: kh, InC: inC, OutC: len(weights), Weights: weights}, nil
+}
+
+// Matrix returns the kernels as the (kw·kh·inC)×OutC weight matrix a
+// computation bank stores — multiple kernels sharing input vectors become
+// one matrix-vector multiplication (Section II.B.3).
+func (k *ConvKernels) Matrix() [][]float64 {
+	rows := k.KW * k.KH * k.InC
+	m := make([][]float64, rows)
+	for r := range m {
+		m[r] = make([]float64, k.OutC)
+		for c := range m[r] {
+			m[r][c] = k.Weights[c][r]
+		}
+	}
+	return m
+}
+
+// Im2Col extracts the input patch feeding output pixel (ox, oy): the
+// flattened receptive field, ordered (ky, kx, c) — one crossbar input
+// vector per output position. This is exactly the window the Fig. 1(f)
+// line buffer holds as results stream through.
+func Im2Col(in *Tensor3, k *ConvKernels, ox, oy, stride, pad int) []float64 {
+	patch := make([]float64, k.KW*k.KH*k.InC)
+	i := 0
+	for ky := 0; ky < k.KH; ky++ {
+		for kx := 0; kx < k.KW; kx++ {
+			x := ox*stride - pad + kx
+			y := oy*stride - pad + ky
+			for c := 0; c < k.InC; c++ {
+				patch[i] = in.At(x, y, c)
+				i++
+			}
+		}
+	}
+	return patch
+}
+
+// Conv2D computes a direct convolution, the reference the crossbar mapping
+// is verified against.
+func Conv2D(in *Tensor3, k *ConvKernels, stride, pad int) (*Tensor3, error) {
+	if in.C != k.InC {
+		return nil, fmt.Errorf("nn: input has %d channels, kernels expect %d", in.C, k.InC)
+	}
+	if stride < 1 || pad < 0 {
+		return nil, fmt.Errorf("nn: invalid stride %d / pad %d", stride, pad)
+	}
+	outW := (in.W+2*pad-k.KW)/stride + 1
+	outH := (in.H+2*pad-k.KH)/stride + 1
+	if outW < 1 || outH < 1 {
+		return nil, fmt.Errorf("nn: kernel does not fit the input")
+	}
+	out := NewTensor3(outW, outH, k.OutC)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for oc := 0; oc < k.OutC; oc++ {
+				sum := 0.0
+				i := 0
+				for ky := 0; ky < k.KH; ky++ {
+					for kx := 0; kx < k.KW; kx++ {
+						x := ox*stride - pad + kx
+						y := oy*stride - pad + ky
+						for c := 0; c < k.InC; c++ {
+							sum += in.At(x, y, c) * k.Weights[oc][i]
+							i++
+						}
+					}
+				}
+				out.Set(ox, oy, oc, sum)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ConvByMVM computes the same convolution as a stream of matrix-vector
+// multiplications — the memristor bank's execution order: one Im2Col patch
+// per output position drives the kernel matrix, with mvm optionally
+// substituted (e.g. by a crossbar model with injected error). A nil mvm
+// uses the exact product.
+func ConvByMVM(in *Tensor3, k *ConvKernels, stride, pad int, mvm func(matrix [][]float64, vin []float64) ([]float64, error)) (*Tensor3, error) {
+	if in.C != k.InC {
+		return nil, fmt.Errorf("nn: input has %d channels, kernels expect %d", in.C, k.InC)
+	}
+	if stride < 1 || pad < 0 {
+		return nil, fmt.Errorf("nn: invalid stride %d / pad %d", stride, pad)
+	}
+	outW := (in.W+2*pad-k.KW)/stride + 1
+	outH := (in.H+2*pad-k.KH)/stride + 1
+	if outW < 1 || outH < 1 {
+		return nil, fmt.Errorf("nn: kernel does not fit the input")
+	}
+	if mvm == nil {
+		mvm = exactMVM
+	}
+	matrix := k.Matrix()
+	out := NewTensor3(outW, outH, k.OutC)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			patch := Im2Col(in, k, ox, oy, stride, pad)
+			y, err := mvm(matrix, patch)
+			if err != nil {
+				return nil, fmt.Errorf("nn: output (%d,%d): %w", ox, oy, err)
+			}
+			if len(y) != k.OutC {
+				return nil, fmt.Errorf("nn: mvm returned %d outputs, want %d", len(y), k.OutC)
+			}
+			for oc := 0; oc < k.OutC; oc++ {
+				out.Set(ox, oy, oc, y[oc])
+			}
+		}
+	}
+	return out, nil
+}
+
+func exactMVM(matrix [][]float64, vin []float64) ([]float64, error) {
+	if len(matrix) != len(vin) {
+		return nil, fmt.Errorf("nn: mvm shape mismatch %d vs %d", len(matrix), len(vin))
+	}
+	if len(matrix) == 0 {
+		return nil, fmt.Errorf("nn: empty matrix")
+	}
+	out := make([]float64, len(matrix[0]))
+	for i, row := range matrix {
+		for j, w := range row {
+			out[j] += w * vin[i]
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2D applies k×k max pooling with stride k (the bank's pooling
+// module over the Fig. 1(f) buffer contents).
+func MaxPool2D(in *Tensor3, k int) (*Tensor3, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("nn: invalid pooling size %d", k)
+	}
+	outW, outH := in.W/k, in.H/k
+	if outW < 1 || outH < 1 {
+		return nil, fmt.Errorf("nn: pooling exhausts the %dx%d map", in.W, in.H)
+	}
+	out := NewTensor3(outW, outH, in.C)
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for c := 0; c < in.C; c++ {
+				best := in.At(ox*k, oy*k, c)
+				for dy := 0; dy < k; dy++ {
+					for dx := 0; dx < k; dx++ {
+						if v := in.At(ox*k+dx, oy*k+dy, c); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(ox, oy, c, best)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomTensor(w, h, c int, rng *rand.Rand) *Tensor3 {
+	t := NewTensor3(w, h, c)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()
+	}
+	return t
+}
+
+func randomKernels(kw, kh, inC, outC int, rng *rand.Rand) *ConvKernels {
+	ws := make([][]float64, outC)
+	for k := range ws {
+		ws[k] = make([]float64, kw*kh*inC)
+		for i := range ws[k] {
+			ws[k][i] = rng.Float64()*2 - 1
+		}
+	}
+	k, err := NewConvKernels(kw, kh, inC, ws)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestTensor3Basics(t *testing.T) {
+	m := NewTensor3(3, 2, 2)
+	m.Set(2, 1, 1, 7)
+	if m.At(2, 1, 1) != 7 {
+		t.Fatal("Set/At")
+	}
+	if m.At(-1, 0, 0) != 0 || m.At(3, 0, 0) != 0 || m.At(0, 2, 0) != 0 {
+		t.Fatal("out-of-bounds reads should be zero (padding)")
+	}
+}
+
+func TestNewTensor3Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad shape should panic")
+		}
+	}()
+	NewTensor3(0, 1, 1)
+}
+
+func TestNewConvKernelsValidation(t *testing.T) {
+	if _, err := NewConvKernels(3, 3, 2, [][]float64{make([]float64, 17)}); err == nil {
+		t.Error("wrong kernel length accepted")
+	}
+	if _, err := NewConvKernels(0, 3, 2, [][]float64{{}}); err == nil {
+		t.Error("zero kernel width accepted")
+	}
+	if _, err := NewConvKernels(3, 3, 2, nil); err == nil {
+		t.Error("no kernels accepted")
+	}
+}
+
+// The core claim of Section II.B.3: convolution by a stream of
+// matrix-vector multiplications equals direct convolution exactly.
+func TestConvByMVMEqualsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct{ w, h, c, kw, kh, outC, stride, pad int }{
+		{8, 8, 3, 3, 3, 4, 1, 1},
+		{12, 10, 2, 5, 5, 3, 2, 2},
+		{7, 7, 1, 3, 3, 2, 1, 0},
+		{6, 6, 4, 1, 1, 8, 1, 0}, // 1x1 conv
+	} {
+		in := randomTensor(cfg.w, cfg.h, cfg.c, rng)
+		k := randomKernels(cfg.kw, cfg.kh, cfg.c, cfg.outC, rng)
+		direct, err := Conv2D(in, k, cfg.stride, cfg.pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaMVM, err := ConvByMVM(in, k, cfg.stride, cfg.pad, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.W != viaMVM.W || direct.H != viaMVM.H || direct.C != viaMVM.C {
+			t.Fatalf("shape mismatch %+v vs %+v", direct, viaMVM)
+		}
+		for i := range direct.Data {
+			if math.Abs(direct.Data[i]-viaMVM.Data[i]) > 1e-12 {
+				t.Fatalf("cfg %+v: element %d differs: %v vs %v", cfg, i, direct.Data[i], viaMVM.Data[i])
+			}
+		}
+	}
+}
+
+// A custom mvm hook (e.g. a crossbar with injected error) flows through.
+func TestConvByMVMCustomHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := randomTensor(6, 6, 2, rng)
+	k := randomKernels(3, 3, 2, 3, rng)
+	calls := 0
+	halved, err := ConvByMVM(in, k, 1, 0, func(m [][]float64, v []float64) ([]float64, error) {
+		calls++
+		out, err := exactMVM(m, v)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] *= 0.5
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 16 {
+		t.Fatalf("mvm called %d times, want 16 output positions", calls)
+	}
+	direct, err := Conv2D(in, k, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Data {
+		if math.Abs(halved.Data[i]-direct.Data[i]/2) > 1e-12 {
+			t.Fatalf("hook not applied at %d", i)
+		}
+	}
+}
+
+func TestConvErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomTensor(4, 4, 2, rng)
+	k := randomKernels(3, 3, 3, 2, rng) // channel mismatch
+	if _, err := Conv2D(in, k, 1, 0); err == nil {
+		t.Error("channel mismatch accepted (direct)")
+	}
+	if _, err := ConvByMVM(in, k, 1, 0, nil); err == nil {
+		t.Error("channel mismatch accepted (mvm)")
+	}
+	k2 := randomKernels(3, 3, 2, 2, rng)
+	if _, err := Conv2D(in, k2, 0, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := ConvByMVM(in, k2, 1, -1, nil); err == nil {
+		t.Error("negative pad accepted")
+	}
+	big := randomKernels(9, 9, 2, 2, rng)
+	if _, err := Conv2D(in, big, 1, 0); err == nil {
+		t.Error("oversized kernel accepted")
+	}
+	if _, err := ConvByMVM(in, big, 1, 0, nil); err == nil {
+		t.Error("oversized kernel accepted (mvm)")
+	}
+	// Hook returning the wrong width is caught.
+	if _, err := ConvByMVM(in, k2, 1, 0, func(m [][]float64, v []float64) ([]float64, error) {
+		return []float64{1}, nil
+	}); err == nil {
+		t.Error("short mvm result accepted")
+	}
+}
+
+func TestIm2ColOrdering(t *testing.T) {
+	in := NewTensor3(3, 3, 1)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			in.Set(x, y, 0, float64(y*3+x))
+		}
+	}
+	k := randomKernels(2, 2, 1, 1, rand.New(rand.NewSource(4)))
+	patch := Im2Col(in, k, 0, 0, 1, 0)
+	want := []float64{0, 1, 3, 4} // (ky,kx) row-major
+	for i := range want {
+		if patch[i] != want[i] {
+			t.Fatalf("patch = %v, want %v", patch, want)
+		}
+	}
+	// Padding region reads zero.
+	padded := Im2Col(in, k, 0, 0, 1, 1)
+	if padded[0] != 0 || padded[1] != 0 || padded[2] != 0 {
+		t.Fatalf("padded patch = %v", padded)
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := NewTensor3(4, 4, 1)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	out, err := MaxPool2D(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != 2 || out.H != 2 {
+		t.Fatalf("shape %dx%d", out.W, out.H)
+	}
+	// Each window's max is its bottom-right element for this filling.
+	if out.At(0, 0, 0) != 5 || out.At(1, 1, 0) != 15 {
+		t.Fatalf("pooled = %v", out.Data)
+	}
+	if _, err := MaxPool2D(in, 0); err == nil {
+		t.Error("zero pooling accepted")
+	}
+	if _, err := MaxPool2D(in, 5); err == nil {
+		t.Error("oversized pooling accepted")
+	}
+}
+
+// End to end: conv -> pool -> conv matches the paper's bank cascade and the
+// pooled map still agrees between direct and MVM paths.
+func TestConvPoolCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomTensor(8, 8, 2, rng)
+	k1 := randomKernels(3, 3, 2, 4, rng)
+	c1, err := ConvByMVM(in, k1, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := MaxPool2D(c1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := randomKernels(3, 3, 4, 2, rng)
+	c2, err := ConvByMVM(p1, k2, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.W != 4 || c2.H != 4 || c2.C != 2 {
+		t.Fatalf("cascade shape %dx%dx%d", c2.W, c2.H, c2.C)
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SNNOptions configures a rate-coded spiking inference run (the SNN
+// algorithm class of Section II.B.2: fixed crossbar weights computing the
+// synapse function, integrate-and-fire neurons between layers).
+type SNNOptions struct {
+	// Steps is the number of simulation time steps; output rates converge
+	// as 1/√Steps.
+	Steps int
+	// Threshold is the integrate-and-fire membrane threshold.
+	Threshold float64
+	// Leak is subtracted from each membrane per step (0 = perfect
+	// integrator).
+	Leak float64
+	// Rng drives the Bernoulli input spike generation; required.
+	Rng *rand.Rand
+	// Deviate, when non-nil, perturbs each layer's per-step synaptic
+	// currents — the crossbar error-injection hook.
+	Deviate func(layer int, currents []float64)
+}
+
+// SNNForward runs rate-coded spiking inference: each input value in [0,1]
+// is the Bernoulli firing probability of its input neuron; every time step
+// the spike vector drives the weight matrix (the crossbar's matrix-vector
+// multiplication), membrane potentials integrate the resulting currents,
+// and a neuron fires (and resets by subtraction) when its membrane crosses
+// the threshold. The returned vector holds output firing rates in [0,1].
+func (n *FCNet) SNNForward(input []float64, opt SNNOptions) ([]float64, error) {
+	if len(n.Weights) == 0 {
+		return nil, fmt.Errorf("nn: network %q has no layers", n.Name)
+	}
+	if opt.Steps < 1 {
+		return nil, fmt.Errorf("nn: SNN needs at least 1 step")
+	}
+	if opt.Threshold <= 0 {
+		return nil, fmt.Errorf("nn: SNN threshold must be positive")
+	}
+	if opt.Leak < 0 {
+		return nil, fmt.Errorf("nn: negative leak")
+	}
+	if opt.Rng == nil {
+		return nil, fmt.Errorf("nn: SNN needs an RNG")
+	}
+	if len(input) != len(n.Weights[0]) {
+		return nil, fmt.Errorf("nn: input length %d, want %d", len(input), len(n.Weights[0]))
+	}
+	for i, v := range input {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("nn: input rate %g at %d outside [0,1]", v, i)
+		}
+	}
+	// Per-layer state.
+	membranes := make([][]float64, len(n.Weights))
+	spikes := make([][]float64, len(n.Weights)+1)
+	fires := make([]int, len(n.Weights[len(n.Weights)-1][0]))
+	spikes[0] = make([]float64, len(input))
+	for l, w := range n.Weights {
+		membranes[l] = make([]float64, len(w[0]))
+		spikes[l+1] = make([]float64, len(w[0]))
+	}
+	for step := 0; step < opt.Steps; step++ {
+		// Input spikes.
+		for i, rate := range input {
+			if opt.Rng.Float64() < rate {
+				spikes[0][i] = 1
+			} else {
+				spikes[0][i] = 0
+			}
+		}
+		for l, w := range n.Weights {
+			out := spikes[l+1]
+			for j := range out {
+				out[j] = 0
+			}
+			// Synapse function: one crossbar pass over the spike vector.
+			currents := make([]float64, len(w[0]))
+			for i, row := range w {
+				if spikes[l][i] == 0 {
+					continue
+				}
+				for j, wij := range row {
+					currents[j] += wij
+				}
+			}
+			if opt.Deviate != nil {
+				opt.Deviate(l, currents)
+			}
+			// Integrate and fire.
+			for j := range currents {
+				membranes[l][j] += currents[j] - opt.Leak
+				if membranes[l][j] < 0 {
+					membranes[l][j] = 0
+				}
+				if membranes[l][j] >= opt.Threshold {
+					membranes[l][j] -= opt.Threshold
+					out[j] = 1
+					if l == len(n.Weights)-1 {
+						fires[j]++
+					}
+				}
+			}
+		}
+	}
+	rates := make([]float64, len(fires))
+	for j, f := range fires {
+		rates[j] = float64(f) / float64(opt.Steps)
+	}
+	return rates, nil
+}

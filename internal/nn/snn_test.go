@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// positiveNet builds a single-layer network with known positive weights.
+func positiveNet(w float64, in, out int) *FCNet {
+	m := make([][]float64, in)
+	for i := range m {
+		m[i] = make([]float64, out)
+		for j := range m[i] {
+			m[i][j] = w
+		}
+	}
+	return &FCNet{Name: "snn", Weights: [][][]float64{m}}
+}
+
+func TestSNNForwardRatesInRange(t *testing.T) {
+	net := positiveNet(0.5, 8, 4)
+	rng := rand.New(rand.NewSource(1))
+	input := []float64{1, 0.5, 0.25, 1, 0, 0.75, 0.5, 1}
+	rates, err := net.SNNForward(input, SNNOptions{Steps: 200, Threshold: 1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 4 {
+		t.Fatalf("got %d rates", len(rates))
+	}
+	for j, r := range rates {
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %d = %v", j, r)
+		}
+	}
+}
+
+// Rate coding: the output firing rate approximates (input rate · weight sum)
+// / threshold for a non-saturating single layer.
+func TestSNNRateCodesLinearTransfer(t *testing.T) {
+	net := positiveNet(0.25, 4, 1) // 4 inputs x 0.25 = 1.0 total weight
+	rng := rand.New(rand.NewSource(2))
+	input := []float64{0.5, 0.5, 0.5, 0.5} // expected current 0.5/step
+	rates, err := net.SNNForward(input, SNNOptions{Steps: 4000, Threshold: 1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected rate = 0.5 firings per step.
+	if math.Abs(rates[0]-0.5) > 0.05 {
+		t.Fatalf("rate = %v, want ~0.5", rates[0])
+	}
+	// Doubling the input rate doubles the output rate (until saturation).
+	full, err := net.SNNForward([]float64{1, 1, 1, 1}, SNNOptions{Steps: 4000, Threshold: 1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full[0]-1.0) > 0.05 {
+		t.Fatalf("full-rate output = %v, want ~1", full[0])
+	}
+}
+
+// Leak lowers the firing rate.
+func TestSNNLeakReducesRate(t *testing.T) {
+	net := positiveNet(0.25, 4, 1)
+	input := []float64{0.5, 0.5, 0.5, 0.5}
+	noLeak, err := net.SNNForward(input, SNNOptions{Steps: 2000, Threshold: 1, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaky, err := net.SNNForward(input, SNNOptions{Steps: 2000, Threshold: 1, Leak: 0.2, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaky[0] >= noLeak[0] {
+		t.Fatalf("leaky rate %v not below %v", leaky[0], noLeak[0])
+	}
+}
+
+// Crossbar error injection perturbs the output rates.
+func TestSNNDeviationChangesRates(t *testing.T) {
+	net := positiveNet(0.25, 4, 2)
+	input := []float64{0.5, 0.5, 0.5, 0.5}
+	clean, err := net.SNNForward(input, SNNOptions{Steps: 1000, Threshold: 1, Rng: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviated, err := net.SNNForward(input, SNNOptions{
+		Steps: 1000, Threshold: 1, Rng: rand.New(rand.NewSource(4)),
+		Deviate: func(_ int, cur []float64) {
+			for i := range cur {
+				cur[i] *= 0.5 // halve every synaptic current
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviated[0] >= clean[0] {
+		t.Fatalf("halved currents should lower the rate: %v vs %v", deviated[0], clean[0])
+	}
+}
+
+func TestSNNMultiLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net, err := RandomFCNet("snn", rng, 16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float64, 16)
+	for i := range input {
+		input[i] = rng.Float64()
+	}
+	rates, err := net.SNNForward(input, SNNOptions{Steps: 300, Threshold: 0.5, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 4 {
+		t.Fatalf("got %d rates", len(rates))
+	}
+}
+
+func TestSNNErrors(t *testing.T) {
+	net := positiveNet(0.5, 2, 1)
+	rng := rand.New(rand.NewSource(1))
+	cases := []SNNOptions{
+		{Steps: 0, Threshold: 1, Rng: rng},
+		{Steps: 10, Threshold: 0, Rng: rng},
+		{Steps: 10, Threshold: 1, Leak: -1, Rng: rng},
+		{Steps: 10, Threshold: 1},
+	}
+	for i, opt := range cases {
+		if _, err := net.SNNForward([]float64{0.5, 0.5}, opt); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := net.SNNForward([]float64{0.5}, SNNOptions{Steps: 10, Threshold: 1, Rng: rng}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := net.SNNForward([]float64{0.5, 1.5}, SNNOptions{Steps: 10, Threshold: 1, Rng: rng}); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+	empty := &FCNet{Name: "empty"}
+	if _, err := empty.SNNForward(nil, SNNOptions{Steps: 1, Threshold: 1, Rng: rng}); err == nil {
+		t.Error("empty network accepted")
+	}
+}

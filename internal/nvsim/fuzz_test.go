@@ -1,0 +1,32 @@
+package nvsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzImport checks the NVSim report parser never panics, and that accepted
+// inputs survive an Export/Import cycle.
+func FuzzImport(f *testing.F) {
+	f.Add("[a]\nArea = 1 um^2\n")
+	f.Add("[sub]\nRead Latency : 2.5 ns\nLeakage Power = 1 mW\n")
+	f.Add("# comment\n[x]\nDynamic Energy = 3 pJ\nUnknown Row = 7\n")
+	f.Add("[m]\nArea = 0.5 mm^2\nLatency = 1 us\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		mods, err := Import(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Export(&sb, mods); err != nil {
+			return // reserved characters in fuzzer-chosen names are rejected
+		}
+		back, err := Import(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("Export output failed to re-Import: %v\n%s", err, sb.String())
+		}
+		if len(back) != len(mods) {
+			t.Fatalf("module count drifted: %d vs %d", len(back), len(mods))
+		}
+	})
+}

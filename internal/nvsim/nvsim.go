@@ -1,0 +1,144 @@
+// Package nvsim implements the cooperation interface of Section III.E.4:
+// MNSIM's computation-oriented modules can be exported in NVSim's
+// sectioned key = value report format, and NVSim-style results can be
+// imported back as customized module performance records. This lets users
+// "easily introduce some NVSim results into MNSIM; or use MNSIM results in
+// NVSim by adding the circuit models".
+package nvsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mnsim/internal/periph"
+)
+
+// Export writes the named modules in the NVSim report format. Modules are
+// emitted in sorted name order for reproducible files.
+func Export(w io.Writer, modules map[string]periph.Perf) error {
+	names := make([]string, 0, len(modules))
+	for name := range modules {
+		if strings.ContainsAny(name, "[]\n") {
+			return fmt.Errorf("nvsim: module name %q contains reserved characters", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		p := modules[name]
+		fmt.Fprintf(bw, "[%s]\n", name)
+		fmt.Fprintf(bw, "Area = %g um^2\n", p.Area)
+		fmt.Fprintf(bw, "Dynamic Energy = %g pJ\n", p.DynamicEnergy*1e12)
+		fmt.Fprintf(bw, "Leakage Power = %g uW\n", p.StaticPower*1e6)
+		fmt.Fprintf(bw, "Latency = %g ns\n", p.Latency*1e9)
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Import parses an NVSim-style report into module performance records.
+// Recognised keys are Area, Dynamic Energy, Leakage Power, and Latency with
+// the unit spellings NVSim prints (mm^2/um^2, nJ/pJ, mW/uW, us/ns/ps).
+// Unknown keys are ignored so real NVSim output (which carries many more
+// rows) imports cleanly.
+func Import(r io.Reader) (map[string]periph.Perf, error) {
+	out := map[string]periph.Perf{}
+	sc := bufio.NewScanner(r)
+	var current string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("nvsim: line %d: malformed section %q", lineNo, line)
+			}
+			current = strings.TrimSuffix(strings.TrimPrefix(line, "["), "]")
+			if current == "" {
+				return nil, fmt.Errorf("nvsim: line %d: empty section name", lineNo)
+			}
+			if _, dup := out[current]; dup {
+				return nil, fmt.Errorf("nvsim: line %d: duplicate section %q", lineNo, current)
+			}
+			out[current] = periph.Perf{}
+			continue
+		}
+		if current == "" {
+			return nil, fmt.Errorf("nvsim: line %d: value outside any section", lineNo)
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			// NVSim also prints "key : value" rows.
+			key, val, ok = strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("nvsim: line %d: no separator in %q", lineNo, line)
+			}
+		}
+		key = strings.TrimSpace(key)
+		v, err := parseQuantity(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("nvsim: line %d: %w", lineNo, err)
+		}
+		p := out[current]
+		switch strings.ToLower(key) {
+		case "area":
+			p.Area = v
+		case "dynamic energy", "read dynamic energy":
+			p.DynamicEnergy = v
+		case "leakage power", "static power":
+			p.StaticPower = v
+		case "latency", "read latency":
+			p.Latency = v
+		default:
+			// ignore rows MNSIM does not consume
+		}
+		out[current] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("nvsim: no sections found")
+	}
+	return out, nil
+}
+
+// parseQuantity converts "12.3 pJ" style values into SI base units (areas
+// into um², matching periph.Perf conventions).
+func parseQuantity(s string) (float64, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return 0, fmt.Errorf("empty value")
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", fields[0])
+	}
+	if len(fields) == 1 {
+		return v, nil
+	}
+	mult, ok := unitScale[fields[1]]
+	if !ok {
+		return 0, fmt.Errorf("unknown unit %q", fields[1])
+	}
+	return v * mult, nil
+}
+
+var unitScale = map[string]float64{
+	// areas normalise to um² (the periph.Perf convention)
+	"mm^2": 1e6, "um^2": 1, "mm2": 1e6, "um2": 1,
+	// energies to joules
+	"J": 1, "mJ": 1e-3, "uJ": 1e-6, "nJ": 1e-9, "pJ": 1e-12, "fJ": 1e-15,
+	// powers to watts
+	"W": 1, "mW": 1e-3, "uW": 1e-6, "nW": 1e-9,
+	// times to seconds
+	"s": 1, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "ps": 1e-12,
+}

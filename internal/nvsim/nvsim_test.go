@@ -1,0 +1,156 @@
+package nvsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mnsim/internal/periph"
+	"mnsim/internal/tech"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	n := tech.MustNode(45)
+	sig, err := periph.Neuron(n, periph.NeuronSigmoid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adc, err := periph.ADC(n, periph.ADCSAR, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]periph.Perf{"sigmoid": sig, "sar_adc": adc}
+	var sb strings.Builder
+	if err := Export(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Import(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("round trip produced %d modules", len(out))
+	}
+	for name, want := range in {
+		got, ok := out[name]
+		if !ok {
+			t.Fatalf("module %q lost", name)
+		}
+		near := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+		if !near(got.Area, want.Area) || !near(got.DynamicEnergy, want.DynamicEnergy) ||
+			!near(got.StaticPower, want.StaticPower) || !near(got.Latency, want.Latency) {
+			t.Fatalf("%s: got %+v, want %+v", name, got, want)
+		}
+	}
+}
+
+// Property: round trip preserves any positive Perf to relative 1e-9.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a, e, p, l float64) bool {
+		perf := periph.Perf{
+			Area:          math.Abs(a),
+			DynamicEnergy: math.Abs(e) * 1e-12,
+			StaticPower:   math.Abs(p) * 1e-6,
+			Latency:       math.Abs(l) * 1e-9,
+		}
+		for _, v := range []float64{perf.Area, perf.DynamicEnergy, perf.StaticPower, perf.Latency} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v > 1e30 {
+				return true
+			}
+		}
+		var sb strings.Builder
+		if err := Export(&sb, map[string]periph.Perf{"m": perf}); err != nil {
+			return false
+		}
+		out, err := Import(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		got := out["m"]
+		near := func(x, y float64) bool { return math.Abs(x-y) <= 1e-9*(1+math.Abs(y)) }
+		return near(got.Area, perf.Area) && near(got.DynamicEnergy, perf.DynamicEnergy) &&
+			near(got.StaticPower, perf.StaticPower) && near(got.Latency, perf.Latency)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportRealNVSimStyle(t *testing.T) {
+	src := `
+# NVSim-style output with extra rows MNSIM ignores
+[subarray]
+Area = 0.5 mm^2
+Read Latency : 2.5 ns
+Read Dynamic Energy = 12 pJ
+Leakage Power = 1.5 mW
+Write Latency : 10 ns
+Number of Banks : 4
+`
+	out, err := Import(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out["subarray"]
+	if p.Area != 0.5e6 {
+		t.Errorf("area = %v um², want 5e5", p.Area)
+	}
+	if math.Abs(p.Latency-2.5e-9) > 1e-18 {
+		t.Errorf("latency = %v", p.Latency)
+	}
+	if math.Abs(p.DynamicEnergy-12e-12) > 1e-21 {
+		t.Errorf("energy = %v", p.DynamicEnergy)
+	}
+	if math.Abs(p.StaticPower-1.5e-3) > 1e-12 {
+		t.Errorf("power = %v", p.StaticPower)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no section":       "Area = 1 um^2\n",
+		"malformed header": "[oops\nArea = 1 um^2\n",
+		"empty section":    "[]\n",
+		"duplicate":        "[a]\nArea=1 um^2\n[a]\n",
+		"no separator":     "[a]\nArea 1\n",
+		"bad number":       "[a]\nArea = x um^2\n",
+		"bad unit":         "[a]\nArea = 1 parsec\n",
+		"empty value":      "[a]\nArea =\n",
+	}
+	for name, src := range cases {
+		if _, err := Import(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestExportRejectsReservedNames(t *testing.T) {
+	var sb strings.Builder
+	if err := Export(&sb, map[string]periph.Perf{"a]b": {}}); err == nil {
+		t.Fatal("reserved name accepted")
+	}
+}
+
+func TestExportSortedSections(t *testing.T) {
+	var sb strings.Builder
+	err := Export(&sb, map[string]periph.Perf{"zeta": {}, "alpha": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Index(out, "[alpha]") > strings.Index(out, "[zeta]") {
+		t.Fatalf("sections not sorted:\n%s", out)
+	}
+}
+
+func TestUnitlessValue(t *testing.T) {
+	out, err := Import(strings.NewReader("[a]\nArea = 42\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a"].Area != 42 {
+		t.Fatalf("area = %v", out["a"].Area)
+	}
+}

@@ -1,0 +1,121 @@
+package periph
+
+import (
+	"fmt"
+
+	"mnsim/internal/tech"
+)
+
+// DAC models the input peripheral circuit's digital-to-analog converter: a
+// binary-weighted resistor ladder with one transfer-gate switch per bit
+// (Section III.C.3). One DAC drives one crossbar row.
+func DAC(n tech.CMOSNode, bits int) (Perf, error) {
+	if err := checkBits("DAC", bits); err != nil {
+		return Perf{}, err
+	}
+	ga := n.GateArea()
+	ge := n.GateEnergy()
+	units := float64(int(1) << uint(bits))
+	return Perf{
+		Area:          0.3*units*ga + 6*float64(bits)*ga,
+		DynamicEnergy: float64(bits)*ge + 4*ge, // switch network + output driver
+		StaticPower:   float64(bits) * n.GateLeakage,
+		Latency:       4 * n.GateDelay, // output settling
+	}, nil
+}
+
+// ADCKind selects one of the read-circuit designs integrated in MNSIM
+// (Section V.C: "the performance models of some popular ADC designs have
+// been integrated into MNSIM").
+type ADCKind int
+
+const (
+	// ADCVariableSA is the reference design: the reconfigurable multi-level
+	// sense amplifier of Li et al. (IMW'11) operated at 50 MHz.
+	ADCVariableSA ADCKind = iota
+	// ADCSAR is a successive-approximation converter: one comparator cycle
+	// per output bit.
+	ADCSAR
+	// ADCFlash is a flash converter: 2^bits − 1 parallel comparators, fast
+	// but area- and power-hungry.
+	ADCFlash
+)
+
+// String implements fmt.Stringer.
+func (k ADCKind) String() string {
+	switch k {
+	case ADCVariableSA:
+		return "VariableSA"
+	case ADCSAR:
+		return "SAR"
+	case ADCFlash:
+		return "Flash"
+	default:
+		return fmt.Sprintf("ADCKind(%d)", int(k))
+	}
+}
+
+// ParseADCKind converts a configuration-file spelling into an ADCKind.
+func ParseADCKind(s string) (ADCKind, error) {
+	switch s {
+	case "VariableSA", "SA":
+		return ADCVariableSA, nil
+	case "SAR":
+		return ADCSAR, nil
+	case "Flash":
+		return ADCFlash, nil
+	default:
+		return 0, fmt.Errorf("periph: unknown ADC kind %q (want VariableSA, SAR, or Flash)", s)
+	}
+}
+
+// comparator is the analog building block shared by the ADC designs.
+func comparator(n tech.CMOSNode) Perf {
+	return Perf{
+		Area:          20 * n.GateArea(),
+		DynamicEnergy: 12 * n.GateEnergy(),
+		StaticPower:   8 * n.GateLeakage,
+		Latency:       6 * n.GateDelay,
+	}
+}
+
+// ADC models one read-circuit converter of the selected kind and precision.
+// The reference VariableSA runs at a fixed 50 MHz conversion rate, matching
+// the paper's choice ("MNSIM uses a variable-level SA with 50MHz frequency
+// as the reference ADC design"): its latency is one 20 ns conversion
+// regardless of node, with area/energy scaling by level count.
+func ADC(n tech.CMOSNode, kind ADCKind, bits int) (Perf, error) {
+	if err := checkBits("ADC", bits); err != nil {
+		return Perf{}, err
+	}
+	cmp := comparator(n)
+	levels := float64(int(1) << uint(bits))
+	switch kind {
+	case ADCVariableSA:
+		return Perf{
+			Area:          cmp.Area + 2.5*levels*n.GateArea(), // level-reference ladder
+			DynamicEnergy: float64(bits)*cmp.DynamicEnergy + levels*0.25*n.GateEnergy(),
+			StaticPower:   cmp.StaticPower + levels*0.1*n.GateLeakage,
+			Latency:       20e-9, // one conversion at 50 MHz
+		}, nil
+	case ADCSAR:
+		capArray := 15 * levels * n.GateArea() / 16 // scaled unit-cap array
+		logic := 30 * float64(bits) * n.GateArea()
+		return Perf{
+			Area:          cmp.Area + capArray + logic,
+			DynamicEnergy: float64(bits) * (cmp.DynamicEnergy + 8*n.GateEnergy()),
+			StaticPower:   cmp.StaticPower + float64(bits)*4*n.GateLeakage,
+			Latency:       float64(bits) * (cmp.Latency + 4*n.GateDelay),
+		}, nil
+	case ADCFlash:
+		comps := levels - 1
+		return Perf{
+			Area:          comps*cmp.Area + comps*2*n.GateArea(), // comparators + thermometer decode
+			DynamicEnergy: comps * cmp.DynamicEnergy,
+			StaticPower:   comps * cmp.StaticPower,
+			Latency:       cmp.Latency + 4*n.GateDelay,
+		}, nil
+	default:
+		return Perf{}, fmt.Errorf("periph: unknown ADC kind %d", kind)
+	}
+}

@@ -1,0 +1,159 @@
+package periph
+
+import (
+	"fmt"
+
+	"mnsim/internal/tech"
+)
+
+// NeuronKind selects the non-linear neuron circuit cascaded after the adder
+// tree (Section III.B.4). The reference designs are the sigmoid for DNN,
+// integrate-and-fire for SNN, and ReLU for CNN.
+type NeuronKind int
+
+const (
+	// NeuronSigmoid is a lookup-table sigmoid for DNN layers.
+	NeuronSigmoid NeuronKind = iota
+	// NeuronReLU is a comparator-and-mux rectifier for CNN layers.
+	NeuronReLU
+	// NeuronIntegrateFire is the accumulate-threshold-reset circuit for SNN
+	// layers.
+	NeuronIntegrateFire
+)
+
+// String implements fmt.Stringer.
+func (k NeuronKind) String() string {
+	switch k {
+	case NeuronSigmoid:
+		return "Sigmoid"
+	case NeuronReLU:
+		return "ReLU"
+	case NeuronIntegrateFire:
+		return "IntegrateFire"
+	default:
+		return fmt.Sprintf("NeuronKind(%d)", int(k))
+	}
+}
+
+// Neuron returns the performance of one neuron circuit processing bits-wide
+// values.
+func Neuron(n tech.CMOSNode, kind NeuronKind, bits int) (Perf, error) {
+	if err := checkBits("neuron", bits); err != nil {
+		return Perf{}, err
+	}
+	fb := float64(bits)
+	switch kind {
+	case NeuronSigmoid:
+		// LUT with 2^bits entries of bits-wide outputs plus address decode.
+		entries := float64(int(1) << uint(bits))
+		return Perf{
+			Area:          entries*fb*0.4*n.GateArea() + fb*4*n.GateArea(),
+			DynamicEnergy: fb*6*n.GateEnergy() + entries*0.02*n.GateEnergy(),
+			StaticPower:   entries * fb * 0.05 * n.GateLeakage,
+			Latency:       (float64(depthOf(bits)) + 2) * n.GateDelay,
+		}, nil
+	case NeuronReLU:
+		// Sign comparator plus an output mux to zero.
+		return Perf{
+			Area:          fb * 3 * n.GateArea(),
+			DynamicEnergy: fb * 2 * n.GateEnergy(),
+			StaticPower:   fb * 3 * n.GateLeakage,
+			Latency:       2 * n.GateDelay,
+		}, nil
+	case NeuronIntegrateFire:
+		add, err := Adder(n, bits)
+		if err != nil {
+			return Perf{}, err
+		}
+		reg, err := Register(n, bits)
+		if err != nil {
+			return Perf{}, err
+		}
+		cmp := comparator(n)
+		return Sum(add, reg, cmp), nil
+	default:
+		return Perf{}, fmt.Errorf("periph: unknown neuron kind %d", kind)
+	}
+}
+
+// Register models a bits-wide register bank (one flip-flop per bit).
+func Register(n tech.CMOSNode, bits int) (Perf, error) {
+	if bits < 1 {
+		return Perf{}, fmt.Errorf("periph: register width %d invalid", bits)
+	}
+	fb := float64(bits)
+	return Perf{
+		Area:          fb * n.RegArea,
+		DynamicEnergy: fb * n.RegEnergy,
+		StaticPower:   fb * 0.3 * n.GateLeakage,
+		Latency:       n.GateDelay,
+	}, nil
+}
+
+// LineBuffer models the shift-register line buffer of Fig. 1(f): length
+// stages of width-bit registers. One Push operation shifts every stage, so
+// the dynamic energy covers all stages.
+func LineBuffer(n tech.CMOSNode, length, width int) (Perf, error) {
+	if length < 1 {
+		return Perf{}, fmt.Errorf("periph: line buffer length %d invalid", length)
+	}
+	reg, err := Register(n, width)
+	if err != nil {
+		return Perf{}, err
+	}
+	p := reg.Scale(length)
+	p.Latency = reg.Latency // all stages shift concurrently
+	return p, nil
+}
+
+// MaxPool models the k×k spatial max-pooling comparator tree
+// (Section III.B.3): k²−1 comparators arranged in a binary tree.
+func MaxPool(n tech.CMOSNode, k, bits int) (Perf, error) {
+	if k < 1 {
+		return Perf{}, fmt.Errorf("periph: pooling size %d invalid", k)
+	}
+	if err := checkBits("pooling", bits); err != nil {
+		return Perf{}, err
+	}
+	inputs := k * k
+	cmp := comparator(n)
+	sel, err := Mux(n, 2, bits)
+	if err != nil {
+		return Perf{}, err
+	}
+	stage := cmp.Plus(sel)
+	p := stage.Scale(inputs - 1)
+	depth := ceilLog2(inputs)
+	if depth < 1 {
+		depth = 1
+	}
+	p.Latency = float64(depth) * stage.Latency
+	return p, nil
+}
+
+// IOInterface models the accelerator's input or output buffer module
+// (Section III.A): width-bit ports backed by sampleBits of buffering, which
+// serialises a full sample over limited bus lines.
+func IOInterface(n tech.CMOSNode, ports, sampleBits int) (Perf, error) {
+	if ports < 1 {
+		return Perf{}, fmt.Errorf("periph: interface needs at least 1 port, got %d", ports)
+	}
+	if sampleBits < 1 {
+		return Perf{}, fmt.Errorf("periph: sample size %d invalid", sampleBits)
+	}
+	buf, err := Register(n, sampleBits)
+	if err != nil {
+		return Perf{}, err
+	}
+	ctrl, err := Counter(n, ceilLog2((sampleBits+ports-1)/ports)+1)
+	if err != nil {
+		return Perf{}, err
+	}
+	p := Sum(buf, ctrl)
+	// Transfers of a full sample take ceil(sampleBits/ports) bus cycles; a
+	// bus cycle is taken as 10 gate delays.
+	cycles := (sampleBits + ports - 1) / ports
+	p.Latency = float64(cycles) * 10 * n.GateDelay
+	p.DynamicEnergy += float64(sampleBits) * 2 * n.GateEnergy()
+	return p, nil
+}

@@ -1,0 +1,96 @@
+// Package periph provides the transistor-level reference designs of every
+// peripheral module in MNSIM's hierarchical accelerator (Section III and V
+// of the paper): DACs, ADCs/sense amplifiers, the memory- and
+// computation-oriented decoders of Fig. 4, adders and adder trees with
+// shifters, subtractors, multiplexers, the non-linear neuron circuits
+// (sigmoid, ReLU, integrate-and-fire), registers, the line buffers of
+// Fig. 1(f), pooling modules, and the accelerator I/O interface.
+//
+// Every module is summarised as a Perf record (area, dynamic energy per
+// operation, static power, latency) derived from the CMOS node parameters in
+// package tech — the same role the CACTI/NVSim/PTM tables play in the
+// original MNSIM. A customized module (Section III.E.3) is just a
+// caller-provided Perf.
+package periph
+
+import "fmt"
+
+// Perf is the behaviour-level performance summary of one circuit module.
+type Perf struct {
+	// Area is the layout area in square micrometres.
+	Area float64
+	// DynamicEnergy is the energy of one operation in joules.
+	DynamicEnergy float64
+	// StaticPower is the leakage power in watts.
+	StaticPower float64
+	// Latency is the delay of one operation in seconds.
+	Latency float64
+}
+
+// Plus returns the series composition of two modules: areas, energies and
+// static powers add, and latency accumulates (the second module operates
+// after the first).
+func (p Perf) Plus(q Perf) Perf {
+	return Perf{
+		Area:          p.Area + q.Area,
+		DynamicEnergy: p.DynamicEnergy + q.DynamicEnergy,
+		StaticPower:   p.StaticPower + q.StaticPower,
+		Latency:       p.Latency + q.Latency,
+	}
+}
+
+// Scale returns the module replicated n times operating in parallel: area,
+// energy and static power multiply, latency is unchanged.
+func (p Perf) Scale(n int) Perf {
+	f := float64(n)
+	return Perf{
+		Area:          p.Area * f,
+		DynamicEnergy: p.DynamicEnergy * f,
+		StaticPower:   p.StaticPower * f,
+		Latency:       p.Latency,
+	}
+}
+
+// Repeat returns the module operated n times sequentially: energy and
+// latency multiply, area and static power are unchanged.
+func (p Perf) Repeat(n int) Perf {
+	f := float64(n)
+	return Perf{
+		Area:          p.Area,
+		DynamicEnergy: p.DynamicEnergy * f,
+		StaticPower:   p.StaticPower,
+		Latency:       p.Latency * f,
+	}
+}
+
+// Sum composes modules in series (see Plus).
+func Sum(ps ...Perf) Perf {
+	var out Perf
+	for _, p := range ps {
+		out = out.Plus(p)
+	}
+	return out
+}
+
+// Parallel composes modules operating concurrently: area, energy and static
+// power add; latency is the maximum.
+func Parallel(ps ...Perf) Perf {
+	var out Perf
+	for _, p := range ps {
+		out.Area += p.Area
+		out.DynamicEnergy += p.DynamicEnergy
+		out.StaticPower += p.StaticPower
+		if p.Latency > out.Latency {
+			out.Latency = p.Latency
+		}
+	}
+	return out
+}
+
+// checkBits validates a bit-width parameter.
+func checkBits(what string, bits int) error {
+	if bits < 1 || bits > 64 {
+		return fmt.Errorf("periph: %s bit width %d outside [1,64]", what, bits)
+	}
+	return nil
+}

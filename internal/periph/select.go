@@ -1,0 +1,40 @@
+package periph
+
+import (
+	"fmt"
+
+	"mnsim/internal/tech"
+)
+
+// SelectADC chooses the cheapest-area ADC design whose conversion rate
+// matches the crossbar's computing speed — the Section V.C sizing rule:
+// "the frequency of ADC should match the speed of memristor-based computing
+// structure" (the paper picks an ADC above 10 MHz for 10–100 ns memristor
+// reads). maxLatency is the crossbar settle interval the converter must
+// keep up with.
+func SelectADC(n tech.CMOSNode, bits int, maxLatency float64) (ADCKind, Perf, error) {
+	if err := checkBits("ADC", bits); err != nil {
+		return 0, Perf{}, err
+	}
+	if maxLatency <= 0 {
+		return 0, Perf{}, fmt.Errorf("periph: ADC latency budget must be positive")
+	}
+	best := ADCKind(-1)
+	var bestPerf Perf
+	for _, kind := range []ADCKind{ADCVariableSA, ADCSAR, ADCFlash} {
+		p, err := ADC(n, kind, bits)
+		if err != nil {
+			return 0, Perf{}, err
+		}
+		if p.Latency > maxLatency {
+			continue
+		}
+		if best < 0 || p.Area < bestPerf.Area {
+			best, bestPerf = kind, p
+		}
+	}
+	if best < 0 {
+		return 0, Perf{}, fmt.Errorf("periph: no ADC design converts %d bits within %.3g s", bits, maxLatency)
+	}
+	return best, bestPerf, nil
+}

@@ -1,0 +1,46 @@
+package periph
+
+import "testing"
+
+func TestSelectADCRelaxedBudget(t *testing.T) {
+	// With a generous budget the small SAR (or reference SA) wins on area.
+	kind, p, err := SelectADC(n45, 8, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind == ADCFlash {
+		t.Fatalf("relaxed budget picked the flash converter")
+	}
+	if p.Area <= 0 {
+		t.Fatalf("perf: %+v", p)
+	}
+}
+
+func TestSelectADCTightBudgetNeedsFlash(t *testing.T) {
+	sar, _ := ADC(n45, ADCSAR, 8)
+	vsa, _ := ADC(n45, ADCVariableSA, 8)
+	flash, _ := ADC(n45, ADCFlash, 8)
+	budget := flash.Latency * 1.1
+	if budget >= sar.Latency || budget >= vsa.Latency {
+		t.Skip("model latencies no longer separate the designs")
+	}
+	kind, _, err := SelectADC(n45, 8, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != ADCFlash {
+		t.Fatalf("tight budget picked %v, want Flash", kind)
+	}
+}
+
+func TestSelectADCImpossible(t *testing.T) {
+	if _, _, err := SelectADC(n45, 8, 1e-15); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+	if _, _, err := SelectADC(n45, 0, 1e-6); err == nil {
+		t.Fatal("0-bit selection accepted")
+	}
+	if _, _, err := SelectADC(n45, 8, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

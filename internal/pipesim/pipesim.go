@@ -1,0 +1,108 @@
+// Package pipesim is a discrete-event simulator of the accelerator's
+// inter-bank pipeline (Section IV.A: "most memristor-based multilayer
+// accelerators use pipelined design, so the execution time is determined by
+// the worst-case delay among layers"). Where the analytic model takes the
+// slowest bank's pass latency as the pipeline cycle, pipesim actually
+// streams samples through the bank chain — each bank runs its per-sample
+// pass count, hands results to the next bank's input buffer, and stalls
+// when that buffer is still occupied — measuring the achieved throughput,
+// per-bank utilisation, and the analytic model's error.
+package pipesim
+
+import (
+	"fmt"
+
+	"mnsim/internal/arch"
+)
+
+// Stats is the result of streaming a batch through the accelerator.
+type Stats struct {
+	// Samples is the batch size simulated.
+	Samples int
+	// TotalTime is the wall-clock time until the last sample drains.
+	TotalTime float64
+	// SampleInterval is the steady-state time between sample completions.
+	SampleInterval float64
+	// AnalyticCycle is the arch model's per-sample pipeline interval (the
+	// slowest bank's per-sample busy time) for comparison.
+	AnalyticCycle float64
+	// Utilisation is each bank's busy fraction.
+	Utilisation []float64
+	// Bottleneck is the index of the bank with the highest utilisation.
+	Bottleneck int
+}
+
+// Run streams `samples` inputs through the accelerator's bank chain. Each
+// bank b is busy for its per-sample processing time (Passes × pass
+// latency); a bank accepts sample k only once it has finished sample k-1
+// and the downstream bank has accepted sample k-1 (single-sample
+// buffering between stages, the output/line buffers of Fig. 1).
+func Run(a *arch.Accelerator, samples int) (Stats, error) {
+	if samples < 1 {
+		return Stats{}, fmt.Errorf("pipesim: need at least 1 sample")
+	}
+	n := len(a.Banks)
+	if n == 0 {
+		return Stats{}, fmt.Errorf("pipesim: accelerator has no banks")
+	}
+	busy := make([]float64, n) // per-sample busy time of each bank
+	for i, b := range a.Banks {
+		busy[i] = b.SampleLatency
+	}
+	// start[b] is the time bank b starts its current sample; done[b] the
+	// time it finishes; accept[b] the earliest time b can take a new one.
+	finish := make([]float64, n) // when bank b finishes sample k
+	prevFinish := make([]float64, n)
+	busyTotal := make([]float64, n)
+	var lastDone float64
+	var prevLastDone float64
+	for k := 0; k < samples; k++ {
+		for b := 0; b < n; b++ {
+			var start float64
+			if b == 0 {
+				start = prevFinish[0] // bank 0 takes the next sample as soon as it is free
+			} else {
+				// Needs the upstream result and its own freedom.
+				start = maxF(finish[b-1], prevFinish[b])
+			}
+			finish[b] = start + busy[b]
+			busyTotal[b] += busy[b]
+		}
+		copy(prevFinish, finish)
+		prevLastDone = lastDone
+		lastDone = finish[n-1]
+	}
+	st := Stats{
+		Samples:   samples,
+		TotalTime: lastDone,
+	}
+	if samples > 1 {
+		st.SampleInterval = lastDone - prevLastDone
+	} else {
+		st.SampleInterval = lastDone
+	}
+	// The analytic model's per-sample interval: the slowest bank's
+	// per-sample busy time.
+	for _, b := range busy {
+		if b > st.AnalyticCycle {
+			st.AnalyticCycle = b
+		}
+	}
+	st.Utilisation = make([]float64, n)
+	best := 0
+	for b := 0; b < n; b++ {
+		st.Utilisation[b] = busyTotal[b] / st.TotalTime
+		if st.Utilisation[b] > st.Utilisation[best] {
+			best = b
+		}
+	}
+	st.Bottleneck = best
+	return st, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

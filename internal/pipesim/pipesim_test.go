@@ -1,0 +1,162 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/device"
+	"mnsim/internal/nn"
+	"mnsim/internal/periph"
+	"mnsim/internal/tech"
+)
+
+func design() *arch.Design {
+	return &arch.Design{
+		CrossbarSize:      128,
+		WeightPolarity:    2,
+		TwoCrossbarSigned: true,
+		WeightBits:        4,
+		DataBits:          8,
+		CMOS:              tech.MustNode(45),
+		Wire:              tech.MustInterconnect(45),
+		Dev:               device.RRAM(),
+		ADC:               periph.ADCVariableSA,
+		Neuron:            periph.NeuronSigmoid,
+		AreaCoefficient:   arch.DefaultAreaCoefficient,
+	}
+}
+
+func accel(t *testing.T, layers []arch.LayerDims) *arch.Accelerator {
+	t.Helper()
+	a, err := arch.NewAccelerator(design(), layers, [2]int{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// Balanced FC banks: the simulated steady-state interval equals the
+// analytic pipeline cycle, and every bank is near fully utilised.
+func TestBalancedPipelineMatchesAnalytic(t *testing.T) {
+	layers := []arch.LayerDims{
+		{Rows: 512, Cols: 512, Passes: 1},
+		{Rows: 512, Cols: 512, Passes: 1},
+		{Rows: 512, Cols: 512, Passes: 1},
+	}
+	st, err := Run(accel(t, layers), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.SampleInterval-st.AnalyticCycle)/st.AnalyticCycle > 1e-9 {
+		t.Fatalf("interval %v vs analytic %v", st.SampleInterval, st.AnalyticCycle)
+	}
+	for b, u := range st.Utilisation {
+		if u < 0.95 {
+			t.Errorf("bank %d utilisation %v, want near 1", b, u)
+		}
+	}
+}
+
+// Unbalanced banks: the slowest bank is the bottleneck, the interval still
+// equals the analytic cycle (which already takes the max), and the fast
+// banks idle.
+func TestUnbalancedPipelineBottleneck(t *testing.T) {
+	layers := []arch.LayerDims{
+		{Rows: 128, Cols: 128, Passes: 1},
+		{Rows: 2048, Cols: 1024, Passes: 4}, // by far the heaviest
+		{Rows: 128, Cols: 10, Passes: 1},
+	}
+	a := accel(t, layers)
+	st, err := Run(a, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bottleneck != 1 {
+		t.Fatalf("bottleneck = %d, want 1 (utilisations %v)", st.Bottleneck, st.Utilisation)
+	}
+	if math.Abs(st.SampleInterval-st.AnalyticCycle)/st.AnalyticCycle > 1e-9 {
+		t.Fatalf("interval %v vs analytic %v", st.SampleInterval, st.AnalyticCycle)
+	}
+	if st.Utilisation[0] > 0.5 || st.Utilisation[2] > 0.5 {
+		t.Errorf("light banks should idle: %v", st.Utilisation)
+	}
+	if st.Utilisation[1] < 0.95 {
+		t.Errorf("bottleneck should be saturated: %v", st.Utilisation[1])
+	}
+}
+
+// The first sample's latency is the full chain traversal; with one sample
+// TotalTime equals the sum of bank busy times.
+func TestSingleSampleLatency(t *testing.T) {
+	layers := []arch.LayerDims{
+		{Rows: 256, Cols: 256, Passes: 1},
+		{Rows: 256, Cols: 128, Passes: 1},
+	}
+	a := accel(t, layers)
+	st, err := Run(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Banks[0].SampleLatency + a.Banks[1].SampleLatency
+	if math.Abs(st.TotalTime-want)/want > 1e-12 {
+		t.Fatalf("single sample time %v, want %v", st.TotalTime, want)
+	}
+}
+
+// Throughput identity: total time ≈ fill + (samples-1)·interval.
+func TestThroughputIdentity(t *testing.T) {
+	layers := []arch.LayerDims{
+		{Rows: 512, Cols: 256, Passes: 2},
+		{Rows: 256, Cols: 64, Passes: 1},
+	}
+	a := accel(t, layers)
+	st1, err := Run(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stN, err := Run(a, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st1.TotalTime + 63*stN.SampleInterval
+	if math.Abs(stN.TotalTime-want)/want > 1e-9 {
+		t.Fatalf("total %v, want fill+drain %v", stN.TotalTime, want)
+	}
+}
+
+// VGG-16's wildly different per-bank pass counts still simulate cleanly and
+// the simulated interval never beats the analytic lower bound.
+func TestVGGPipeline(t *testing.T) {
+	layers, err := nn.VGG16().Dims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := design()
+	d.WeightBits = 8
+	d.Neuron = periph.NeuronReLU
+	a, err := arch.NewAccelerator(d, layers, [2]int{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampleInterval < st.AnalyticCycle*(1-1e-12) {
+		t.Fatalf("simulated interval %v beats the analytic bound %v", st.SampleInterval, st.AnalyticCycle)
+	}
+	if st.Bottleneck < 0 || st.Bottleneck >= len(a.Banks) {
+		t.Fatalf("bottleneck index %d", st.Bottleneck)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	a := accel(t, []arch.LayerDims{{Rows: 8, Cols: 8, Passes: 1}})
+	if _, err := Run(a, 0); err == nil {
+		t.Error("0 samples accepted")
+	}
+	if _, err := Run(&arch.Accelerator{}, 1); err == nil {
+		t.Error("bankless accelerator accepted")
+	}
+}

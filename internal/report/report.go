@@ -1,0 +1,168 @@
+// Package report renders the simulator's result tables — the ASCII tables
+// printed by the cmd tools and benches that mirror the paper's Tables II–VII,
+// plus CSV output for plotting the figures.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; values are formatted with %v unless they are
+// float64 (compact %.4g) or already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', 4, 64)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return fmt.Errorf("report: empty table %q", t.Title)
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		sb.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string, ignoring write errors (strings
+// builders cannot fail).
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the table as CSV (headers first when present).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Headers) > 0 {
+		if err := cw.Write(t.Headers); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Seconds formats a duration in engineering units.
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3g s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3g ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3g us", s*1e6)
+	case s >= 1e-9:
+		return fmt.Sprintf("%.3g ns", s*1e9)
+	default:
+		return fmt.Sprintf("%.3g ps", s*1e12)
+	}
+}
+
+// Joules formats an energy in engineering units.
+func Joules(j float64) string {
+	switch {
+	case j >= 1:
+		return fmt.Sprintf("%.3g J", j)
+	case j >= 1e-3:
+		return fmt.Sprintf("%.3g mJ", j*1e3)
+	case j >= 1e-6:
+		return fmt.Sprintf("%.3g uJ", j*1e6)
+	case j >= 1e-9:
+		return fmt.Sprintf("%.3g nJ", j*1e9)
+	default:
+		return fmt.Sprintf("%.3g pJ", j*1e12)
+	}
+}
+
+// Watts formats a power in engineering units.
+func Watts(w float64) string {
+	switch {
+	case w >= 1:
+		return fmt.Sprintf("%.3g W", w)
+	case w >= 1e-3:
+		return fmt.Sprintf("%.3g mW", w*1e3)
+	default:
+		return fmt.Sprintf("%.3g uW", w*1e6)
+	}
+}
+
+// Percent formats a ratio as a percentage.
+func Percent(r float64) string { return fmt.Sprintf("%.2f%%", r*100) }

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "Demo", Headers: []string{"name", "value"}}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta", 42)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "1.5", "beta", "42", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "value" and "1.5" start at the same offset.
+	h := strings.Index(lines[1], "value")
+	v := strings.Index(lines[3], "1.5")
+	if h != v {
+		t.Errorf("columns misaligned: header at %d, value at %d", h, v)
+	}
+}
+
+func TestRenderEmptyTableFails(t *testing.T) {
+	empty := &Table{Title: "nothing"}
+	if err := empty.Render(&strings.Builder{}); err == nil {
+		t.Fatal("empty table should fail")
+	}
+	if !strings.Contains(empty.String(), "report:") {
+		t.Fatal("String should surface the error")
+	}
+}
+
+func TestHeaderlessTable(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("a", "b")
+	out := tab.String()
+	if strings.Contains(out, "---") {
+		t.Error("headerless table should not draw a rule")
+	}
+	if !strings.Contains(out, "a  b") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"x"}}
+	tab.AddRow("a", "b", "c")
+	tab.AddRow("only")
+	out := tab.String()
+	if !strings.Contains(out, "c") || !strings.Contains(out, "only") {
+		t.Errorf("ragged rendering: %q", out)
+	}
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tab := &Table{Headers: []string{"v"}}
+	tab.AddRow(3.14159265)
+	tab.AddRow(7)
+	tab.AddRow(stringer{})
+	out := tab.String()
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting: %q", out)
+	}
+	if !strings.Contains(out, "7") || !strings.Contains(out, "custom") {
+		t.Errorf("int/stringer formatting: %q", out)
+	}
+}
+
+type stringer struct{}
+
+func (stringer) String() string { return "custom" }
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nalpha,1.5\nbeta,42\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("a,b", "plain")
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"a,b"`) {
+		t.Fatalf("comma not quoted: %q", sb.String())
+	}
+}
+
+func TestUnitFormatters(t *testing.T) {
+	cases := map[string]string{
+		Seconds(2.5):     "2.5 s",
+		Seconds(1e-3):    "1 ms",
+		Seconds(42e-6):   "42 us",
+		Seconds(3e-9):    "3 ns",
+		Seconds(5e-13):   "0.5 ps",
+		Joules(1.5):      "1.5 J",
+		Joules(2e-3):     "2 mJ",
+		Joules(3e-6):     "3 uJ",
+		Joules(4e-9):     "4 nJ",
+		Joules(5e-12):    "5 pJ",
+		Watts(2):         "2 W",
+		Watts(3e-3):      "3 mW",
+		Watts(4e-6):      "4 uW",
+		Percent(0.12345): "12.35%",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("formatter: got %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterpolateExactNodes(t *testing.T) {
+	for _, f := range Nodes() {
+		n, err := InterpolateNode(float64(f))
+		if err != nil {
+			t.Fatalf("node %d: %v", f, err)
+		}
+		if n != MustNode(f) {
+			t.Errorf("node %d: interpolation differs from table", f)
+		}
+	}
+}
+
+func TestInterpolateBetweenNodes(t *testing.T) {
+	n, err := InterpolateNode(55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := MustNode(45), MustNode(65)
+	checks := map[string][3]float64{
+		"Vdd":       {lo.Vdd, n.Vdd, hi.Vdd},
+		"GateDelay": {lo.GateDelay, n.GateDelay, hi.GateDelay},
+		"GateCap":   {lo.GateCap, n.GateCap, hi.GateCap},
+		"RegArea":   {lo.RegArea, n.RegArea, hi.RegArea},
+	}
+	for name, v := range checks {
+		if !(v[0] < v[1] && v[1] < v[2]) {
+			t.Errorf("%s not bracketed: %v", name, v)
+		}
+	}
+	// Leakage runs the other way (grows at smaller nodes).
+	if !(hi.GateLeakage < n.GateLeakage && n.GateLeakage < lo.GateLeakage) {
+		t.Errorf("leakage not bracketed: %v %v %v", hi.GateLeakage, n.GateLeakage, lo.GateLeakage)
+	}
+	if n.FeatureNM != 55 {
+		t.Errorf("feature = %v", n.FeatureNM)
+	}
+}
+
+func TestInterpolateContinuousAtNodes(t *testing.T) {
+	// Approaching a tabulated node from either side converges to its entry.
+	ref := MustNode(45)
+	below, err := InterpolateNode(44.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := InterpolateNode(45.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{
+		{below.GateDelay, ref.GateDelay},
+		{above.GateDelay, ref.GateDelay},
+		{below.Vdd, ref.Vdd},
+		{above.Vdd, ref.Vdd},
+	} {
+		if math.Abs(pair[0]-pair[1])/pair[1] > 0.01 {
+			t.Errorf("discontinuity at 45nm: %v vs %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestInterpolateOutOfRange(t *testing.T) {
+	if _, err := InterpolateNode(200); err == nil {
+		t.Error("200nm accepted")
+	}
+	if _, err := InterpolateNode(5); err == nil {
+		t.Error("5nm accepted")
+	}
+}
+
+func TestInterpolateWire(t *testing.T) {
+	for _, f := range InterconnectNodes() {
+		w, err := InterpolateWire(float64(f))
+		if err != nil {
+			t.Fatalf("node %d: %v", f, err)
+		}
+		if w != MustInterconnect(f) {
+			t.Errorf("node %d differs from table", f)
+		}
+	}
+	mid, err := InterpolateWire(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := MustInterconnect(28), MustInterconnect(36)
+	if !(hi.SegmentR < mid.SegmentR && mid.SegmentR < lo.SegmentR) {
+		t.Errorf("SegmentR not bracketed: %v %v %v", hi.SegmentR, mid.SegmentR, lo.SegmentR)
+	}
+	if !(lo.SegmentC < mid.SegmentC && mid.SegmentC < hi.SegmentC) {
+		t.Errorf("SegmentC not bracketed: %v %v %v", lo.SegmentC, mid.SegmentC, hi.SegmentC)
+	}
+	if _, err := InterpolateWire(200); err == nil {
+		t.Error("200nm accepted")
+	}
+	if _, err := InterpolateWire(5); err == nil {
+		t.Error("5nm accepted")
+	}
+}

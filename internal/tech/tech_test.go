@@ -1,0 +1,142 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeKnown(t *testing.T) {
+	for _, f := range Nodes() {
+		n, err := Node(f)
+		if err != nil {
+			t.Fatalf("Node(%d): %v", f, err)
+		}
+		if n.FeatureNM != float64(f) {
+			t.Errorf("Node(%d).FeatureNM = %v", f, n.FeatureNM)
+		}
+		if n.Vdd <= 0 || n.GateDelay <= 0 || n.GateCap <= 0 || n.GateLeakage <= 0 {
+			t.Errorf("Node(%d) has non-positive parameter: %+v", f, n)
+		}
+	}
+}
+
+func TestNodeUnknown(t *testing.T) {
+	if _, err := Node(77); err == nil {
+		t.Fatal("Node(77) should fail")
+	}
+	if _, err := Interconnect(77); err == nil {
+		t.Fatal("Interconnect(77) should fail")
+	}
+}
+
+func TestMustNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNode(3) should panic")
+		}
+	}()
+	MustNode(3)
+}
+
+func TestMustInterconnectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInterconnect(3) should panic")
+		}
+	}()
+	MustInterconnect(3)
+}
+
+// Scaling down a CMOS node must shrink delay, energy and area monotonically.
+func TestScalingMonotonic(t *testing.T) {
+	nodes := Nodes()
+	for i := 1; i < len(nodes); i++ {
+		big, small := MustNode(nodes[i-1]), MustNode(nodes[i])
+		if small.GateDelay >= big.GateDelay {
+			t.Errorf("GateDelay not decreasing from %dnm to %dnm", nodes[i-1], nodes[i])
+		}
+		if small.GateEnergy() >= big.GateEnergy() {
+			t.Errorf("GateEnergy not decreasing from %dnm to %dnm", nodes[i-1], nodes[i])
+		}
+		if small.GateArea() >= big.GateArea() {
+			t.Errorf("GateArea not decreasing from %dnm to %dnm", nodes[i-1], nodes[i])
+		}
+		if small.GateLeakage <= big.GateLeakage {
+			t.Errorf("GateLeakage should increase at smaller nodes (%dnm -> %dnm)", nodes[i-1], nodes[i])
+		}
+	}
+}
+
+// Wire resistance per segment must increase as interconnect shrinks; this
+// drives the paper's observation that older interconnect nodes compute more
+// accurately (Table IV picks 45nm wires over 28nm for accuracy).
+func TestWireResistanceIncreases(t *testing.T) {
+	nodes := InterconnectNodes()
+	for i := 1; i < len(nodes); i++ {
+		big, small := MustInterconnect(nodes[i-1]), MustInterconnect(nodes[i])
+		if small.SegmentR <= big.SegmentR {
+			t.Errorf("SegmentR not increasing from %dnm to %dnm", nodes[i-1], nodes[i])
+		}
+		if small.SegmentC >= big.SegmentC {
+			t.Errorf("SegmentC not decreasing from %dnm to %dnm", nodes[i-1], nodes[i])
+		}
+	}
+}
+
+func TestScaleAreaQuadratic(t *testing.T) {
+	got := ScaleArea(100, 90, 45)
+	if math.Abs(got-25) > 1e-9 {
+		t.Fatalf("ScaleArea(100, 90, 45) = %v, want 25", got)
+	}
+}
+
+func TestScaleDelayLinear(t *testing.T) {
+	got := ScaleDelay(10e-12, 90, 45)
+	if math.Abs(got-5e-12) > 1e-21 {
+		t.Fatalf("ScaleDelay = %v, want 5e-12", got)
+	}
+}
+
+func TestScaleEnergyUsesVddWhenKnown(t *testing.T) {
+	e90 := 1e-15
+	got := ScaleEnergy(e90, 90, 45)
+	n90, n45 := MustNode(90), MustNode(45)
+	want := e90 * (45.0 / 90.0) * (n45.Vdd / n90.Vdd) * (n45.Vdd / n90.Vdd)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("ScaleEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestScaleEnergyFallbackCubic(t *testing.T) {
+	got := ScaleEnergy(8, 100, 50) // unknown nodes -> cubic rule
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ScaleEnergy fallback = %v, want 1", got)
+	}
+}
+
+// Property: scaling round-trips are identity for any positive value.
+func TestScaleRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		v = math.Abs(v)
+		if v == 0 || v > 1e300 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return true
+		}
+		a := ScaleArea(ScaleArea(v, 90, 45), 45, 90)
+		d := ScaleDelay(ScaleDelay(v, 90, 45), 45, 90)
+		return math.Abs(a-v) <= 1e-9*v && math.Abs(d-v) <= 1e-9*v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodesSortedDescending(t *testing.T) {
+	for _, lst := range [][]int{Nodes(), InterconnectNodes()} {
+		for i := 1; i < len(lst); i++ {
+			if lst[i] >= lst[i-1] {
+				t.Fatalf("node list not strictly descending: %v", lst)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"mnsim/internal/accuracy"
+	"mnsim/internal/circuit"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/tech"
+)
+
+// The behaviour-level accuracy model must generalise beyond the reference
+// RRAM: for the PCM device the worst-case corner prediction still tracks
+// the circuit-level solver.
+func TestModelGeneralisesToPCM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("circuit-level solves are slow")
+	}
+	dev := device.PCM()
+	wire := tech.MustInterconnect(45)
+	for _, size := range []int{8, 16, 32} {
+		p := crossbar.New(size, size, dev, wire)
+		model, err := accuracy.WorstCaseColumn(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := make([][]float64, size)
+		for i := range r {
+			r[i] = make([]float64, size)
+			for j := range r[i] {
+				r[i][j] = dev.RMin
+			}
+		}
+		c := &circuit.Crossbar{M: size, N: size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+		vin := make([]float64, size)
+		for i := range vin {
+			vin[i] = p.VDrive
+		}
+		res, err := c.Solve(vin, circuit.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ideal, err := c.IdealOut(vin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := (ideal[size-1] - res.VOut[size-1]) / ideal[size-1]
+		if math.Abs(model-measured) > 0.02 {
+			t.Errorf("size %d: PCM model %+.4f vs circuit %+.4f", size, model, measured)
+		}
+	}
+}
+
+// The PCM power model holds against the circuit solver too.
+func TestPCMPowerModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("circuit-level solves are slow")
+	}
+	dev := device.PCM()
+	wire := tech.MustInterconnect(45)
+	const size = 32
+	p := crossbar.New(size, size, dev, wire)
+	// Direct PCM check: one deterministic level population, RMS drive.
+	r := make([][]float64, size)
+	rngLevels := func(i, j int) float64 {
+		lvl := (i*31 + j*17) % dev.Levels()
+		res, err := dev.LevelResistance(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for i := range r {
+		r[i] = make([]float64, size)
+		for j := range r[i] {
+			r[i][j] = rngLevels(i, j)
+		}
+	}
+	c := &circuit.Crossbar{M: size, N: size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+	vin := make([]float64, size)
+	for i := range vin {
+		vin[i] = p.AvgDriveRMS()
+	}
+	res, err := c.Solve(vin, circuit.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := p.ComputePower()
+	// The deterministic RMS drive removes input variance, so the
+	// decorrelated-input term overestimates slightly; allow 20%.
+	if rel := math.Abs(model-res.Power) / res.Power; rel > 0.20 {
+		t.Errorf("PCM compute power: model %v vs circuit %v (%.1f%%)", model, res.Power, rel*100)
+	}
+}

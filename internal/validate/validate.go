@@ -1,0 +1,263 @@
+// Package validate implements the paper's validation experiments
+// (Section VII.A–B): the behaviour-level models are held against the
+// built-in circuit-level solver — the SPICE substitute — reproducing
+// Table II (power/latency/accuracy validation), Table III (simulation
+// speed-up), and Fig. 5 (error-rate fit curves).
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mnsim/internal/accuracy"
+	"mnsim/internal/circuit"
+	"mnsim/internal/crossbar"
+	"mnsim/internal/device"
+	"mnsim/internal/tech"
+)
+
+// randomResistances draws a uniformly distributed level population.
+func randomResistances(rows, cols int, dev device.Model, rng *rand.Rand) [][]float64 {
+	r := make([][]float64, rows)
+	for i := range r {
+		r[i] = make([]float64, cols)
+		for j := range r[i] {
+			lvl := rng.Intn(dev.Levels())
+			res, err := dev.LevelResistance(lvl)
+			if err != nil {
+				panic(err) // unreachable: lvl is in range by construction
+			}
+			r[i][j] = res
+		}
+	}
+	return r
+}
+
+// Row is one metric comparison of the Table II validation.
+type Row struct {
+	Metric  string
+	Model   float64 // MNSIM behaviour-level estimate
+	Circuit float64 // circuit-level measurement
+}
+
+// Error returns the relative deviation of the model from the circuit value.
+func (r Row) Error() float64 {
+	if r.Circuit == 0 {
+		return 0
+	}
+	return (r.Model - r.Circuit) / r.Circuit
+}
+
+// TableIIOptions tunes the validation run.
+type TableIIOptions struct {
+	// WeightSamples is the number of random weight matrices (paper: 20).
+	WeightSamples int
+	// InputSamples is the number of random input vectors per weight sample
+	// (paper: 100).
+	InputSamples int
+	// Size is the validation layer width (paper: two 128×128 layers).
+	Size int
+	// Seed feeds the random generator.
+	Seed int64
+}
+
+// TableII reproduces the Table II validation with respect to a 3-layer
+// fully-connected NN (two Size×Size layers): computation power, read power,
+// computation energy, latency, and average relative accuracy, each as
+// MNSIM's behaviour-level estimate versus the circuit-level measurement.
+func TableII(opt TableIIOptions) ([]Row, error) {
+	if opt.WeightSamples <= 0 {
+		opt.WeightSamples = 20
+	}
+	if opt.InputSamples <= 0 {
+		opt.InputSamples = 100
+	}
+	if opt.Size <= 0 {
+		opt.Size = 128
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	dev := device.RRAM()
+	wire := tech.MustInterconnect(45)
+	p := crossbar.New(opt.Size, opt.Size, dev, wire)
+
+	// --- Computation and read power: circuit-level average over random
+	// weight populations and random input drives.
+	var compPower, readPower float64
+	vin := make([]float64, opt.Size)
+	samples := 0
+	for w := 0; w < opt.WeightSamples; w++ {
+		r := randomResistances(opt.Size, opt.Size, dev, rng)
+		c := &circuit.Crossbar{M: opt.Size, N: opt.Size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+		inputs := opt.InputSamples / opt.WeightSamples
+		if inputs < 1 {
+			inputs = 1
+		}
+		for s := 0; s < inputs; s++ {
+			for i := range vin {
+				vin[i] = p.VDrive * rng.Float64()
+			}
+			res, err := c.Solve(vin, circuit.SolveOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("validate: compute-power solve: %w", err)
+			}
+			compPower += res.Power
+			// READ: a single row driven at the RMS of the uniform drive
+			// (a deterministic level, so one row per sample still averages).
+			for i := range vin {
+				vin[i] = 0
+			}
+			vin[rng.Intn(opt.Size)] = p.AvgDriveRMS()
+			res, err = c.Solve(vin, circuit.SolveOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("validate: read-power solve: %w", err)
+			}
+			readPower += res.Power
+			samples++
+		}
+	}
+	compPower /= float64(samples)
+	readPower /= float64(samples)
+
+	// --- Latency: behaviour-level Elmore estimate vs transient settling of
+	// the full RC grid.
+	rLat := randomResistances(opt.Size, opt.Size, dev, rng)
+	cLat := &circuit.Crossbar{M: opt.Size, N: opt.Size, R: rLat, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+	for i := range vin {
+		vin[i] = p.VDrive
+	}
+	rcSettle, err := cLat.SettleTime(vin, circuit.TransientOptions{NodeCap: wire.SegmentC, CellCap: dev.CellCap})
+	if err != nil {
+		return nil, fmt.Errorf("validate: transient: %w", err)
+	}
+	// The transient solver covers the wire/cell RC network; the intrinsic
+	// cell response is a datasheet constant added on both sides.
+	settle := rcSettle + dev.SwitchLatency
+	modelLatency := p.Latency()
+
+	// --- Computation energy of the 3-layer ANN (two layers of crossbars):
+	// power × settling window on both sides.
+	modelEnergy := 2 * p.ComputePower() * p.Latency()
+	circuitEnergy := 2 * compPower * settle
+
+	// --- Average relative accuracy: behaviour-level prediction vs the
+	// circuit-solved JPEG-encoding network (Section VII.A validates the
+	// accuracy model on a 3-layer 64×16×64 NN).
+	modelAcc, circuitAcc, err := jpegAccuracy(rng)
+	if err != nil {
+		return nil, err
+	}
+
+	return []Row{
+		{"Computation Power (W)", 2 * p.ComputePower(), 2 * compPower},
+		{"Read Power (W)", 2 * p.ReadPower(), 2 * readPower},
+		{"Computation Energy (J, 3-layer ANN)", modelEnergy, circuitEnergy},
+		{"Latency (s)", modelLatency, settle},
+		{"Average Relative Accuracy", modelAcc, circuitAcc},
+	}, nil
+}
+
+// TableIII measures the simulation time of the circuit-level solver versus
+// the behaviour-level models for single crossbars of growing size — the
+// paper's speed-up experiment. Returns one row per size.
+type SpeedRow struct {
+	Size         int
+	CircuitTime  time.Duration
+	ModelTime    time.Duration
+	SpeedUp      float64
+	CircuitIters int
+}
+
+// TableIII runs the speed comparison for the given sizes (paper: 16–256).
+func TableIII(sizes []int, seed int64) ([]SpeedRow, error) {
+	rng := rand.New(rand.NewSource(seed + 2))
+	dev := device.RRAM()
+	wire := tech.MustInterconnect(45)
+	var out []SpeedRow
+	for _, size := range sizes {
+		p := crossbar.New(size, size, dev, wire)
+		r := randomResistances(size, size, dev, rng)
+		c := &circuit.Crossbar{M: size, N: size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+		vin := make([]float64, size)
+		for i := range vin {
+			vin[i] = p.VDrive * rng.Float64()
+		}
+		start := time.Now()
+		res, err := c.Solve(vin, circuit.SolveOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("validate: size %d: %w", size, err)
+		}
+		circuitTime := time.Since(start)
+
+		start = time.Now()
+		// The behaviour-level "simulation" of the same crossbar: area,
+		// power, latency, and the accuracy estimate.
+		_ = p.Area()
+		_ = p.ComputePower()
+		_ = p.Latency()
+		if _, err := accuracy.Eval(p); err != nil {
+			return nil, err
+		}
+		modelTime := time.Since(start)
+		if modelTime <= 0 {
+			modelTime = time.Nanosecond
+		}
+		out = append(out, SpeedRow{
+			Size:         size,
+			CircuitTime:  circuitTime,
+			ModelTime:    modelTime,
+			SpeedUp:      float64(circuitTime) / float64(modelTime),
+			CircuitIters: res.CGIters,
+		})
+	}
+	return out, nil
+}
+
+// Fig5Point is one point of the error-rate fit experiment.
+type Fig5Point struct {
+	Size, WireNode int
+	Model, Circuit float64
+}
+
+// Fig5 sweeps crossbar size × interconnect node, returning the model curve
+// and the circuit-level scatter of the worst-case output error rate.
+func Fig5(sizes, nodes []int) ([]Fig5Point, error) {
+	dev := device.RRAM()
+	var out []Fig5Point
+	for _, node := range nodes {
+		wire, err := tech.Interconnect(node)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sizes {
+			p := crossbar.New(size, size, dev, wire)
+			model, err := accuracy.WorstCaseColumn(p)
+			if err != nil {
+				return nil, err
+			}
+			r := make([][]float64, size)
+			for i := range r {
+				r[i] = make([]float64, size)
+				for j := range r[i] {
+					r[i][j] = dev.RMin
+				}
+			}
+			c := &circuit.Crossbar{M: size, N: size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+			vin := make([]float64, size)
+			for i := range vin {
+				vin[i] = p.VDrive
+			}
+			res, err := c.Solve(vin, circuit.SolveOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("validate: fig5 size %d node %d: %w", size, node, err)
+			}
+			ideal, err := c.IdealOut(vin)
+			if err != nil {
+				return nil, err
+			}
+			measured := (ideal[size-1] - res.VOut[size-1]) / ideal[size-1]
+			out = append(out, Fig5Point{Size: size, WireNode: node, Model: model, Circuit: measured})
+		}
+	}
+	return out, nil
+}

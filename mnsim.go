@@ -1,0 +1,137 @@
+// Package mnsim is a behaviour-level simulation platform for
+// memristor-crossbar neuromorphic computing accelerators — a Go
+// reproduction of "MNSIM: Simulation Platform for Memristor-based
+// Neuromorphic Computing System" (Xia et al., DATE 2016 / IEEE TCAD).
+//
+// The platform models an accelerator as a three-level hierarchy
+// (Accelerator → Computation Bank → Computation Unit), estimates area,
+// power, latency and computing accuracy from per-module reference designs,
+// explores the design space over crossbar size, read parallelism and
+// interconnect technology, and validates its models against a built-in
+// circuit-level (SPICE-class) solver.
+//
+// This package is the public facade: the exported names alias the internal
+// implementation packages so downstream users need only import "mnsim".
+//
+//	cfg, _ := mnsim.LoadConfig("accelerator.cfg")
+//	rep, _ := mnsim.Simulate(cfg)
+//	fmt.Printf("area %.2f mm², %s/sample\n", rep.AreaMM2, report.Joules(rep.EnergyPerSample))
+package mnsim
+
+import (
+	"io"
+	"os"
+
+	"mnsim/internal/arch"
+	"mnsim/internal/config"
+	"mnsim/internal/custom"
+	"mnsim/internal/dse"
+	"mnsim/internal/nn"
+)
+
+// Core configuration and architecture types (see the internal packages for
+// full documentation).
+type (
+	// Config is the Table I configuration list.
+	Config = config.Config
+	// LayerShape is one layer's weight-matrix shape in a Config.
+	LayerShape = config.LayerShape
+	// Design carries the unit-level design parameters.
+	Design = arch.Design
+	// LayerDims describes one neuromorphic layer mapped onto a bank.
+	LayerDims = arch.LayerDims
+	// Accelerator is the built module tree.
+	Accelerator = arch.Accelerator
+	// Report is the accelerator performance summary.
+	Report = arch.Report
+	// Network is a neural-network topology description.
+	Network = nn.Network
+	// Space is a design-space exploration grid.
+	Space = dse.Space
+	// Candidate is one evaluated exploration design point.
+	Candidate = dse.Candidate
+	// Objective selects an optimization target.
+	Objective = dse.Objective
+	// ExploreOptions tunes an exploration run.
+	ExploreOptions = dse.Options
+	// CaseStudy is a related-work simulation result (PRIME / ISAAC).
+	CaseStudy = custom.Result
+	// Instruction is one basic controller operation (WRITE/READ/COMPUTE).
+	Instruction = arch.Instruction
+	// Controller executes instruction programs on an accelerator.
+	Controller = arch.Controller
+)
+
+// Exploration objectives (the four case-study optimization targets).
+const (
+	MinArea     = dse.MinArea
+	MinEnergy   = dse.MinEnergy
+	MinLatency  = dse.MinLatency
+	MaxAccuracy = dse.MaxAccuracy
+)
+
+// DefaultConfig returns the Table I defaults.
+func DefaultConfig() Config { return config.Default() }
+
+// ParseConfig reads a key = value configuration file.
+func ParseConfig(r io.Reader) (Config, error) { return config.Parse(r) }
+
+// LoadConfig parses the configuration file at path.
+func LoadConfig(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, err
+	}
+	defer f.Close()
+	return config.Parse(f)
+}
+
+// DesignFromConfig resolves a configuration into a concrete design and its
+// layer stack (the module-generation step of the software flow).
+func DesignFromConfig(cfg Config) (Design, []LayerDims, error) { return arch.FromConfig(cfg) }
+
+// Build constructs the accelerator module tree for a design.
+func Build(d *Design, layers []LayerDims, iface [2]int) (*Accelerator, error) {
+	return arch.NewAccelerator(d, layers, iface)
+}
+
+// Simulate runs the full flow: configuration → module generation →
+// bottom-up performance estimation → accuracy propagation.
+func Simulate(cfg Config) (Report, error) {
+	d, layers, err := arch.FromConfig(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	a, err := arch.NewAccelerator(&d, layers, [2]int(cfg.InterfaceNumber))
+	if err != nil {
+		return Report{}, err
+	}
+	return a.Evaluate()
+}
+
+// Explore traverses a design space and evaluates every grid point.
+func Explore(base Design, layers []LayerDims, space Space, opt ExploreOptions) ([]Candidate, error) {
+	return dse.Explore(base, layers, space, opt)
+}
+
+// DefaultSpace is the paper's large-bank exploration grid.
+func DefaultSpace() Space { return dse.DefaultSpace() }
+
+// Best selects the feasible candidate minimising the objective.
+func Best(cands []Candidate, obj Objective) *Candidate { return dse.Best(cands, obj) }
+
+// Objectives lists the four optimization targets in table order.
+func Objectives() []Objective { return dse.Objectives() }
+
+// VGG16 returns the VGG-16 topology of the deep-CNN case study.
+func VGG16() Network { return nn.VGG16() }
+
+// CaffeNet returns the CaffeNet topology (the paper's 7-computation-bank
+// example network).
+func CaffeNet() Network { return nn.CaffeNet() }
+
+// SimulatePRIME reproduces the PRIME FF-subarray case study (Table VII).
+func SimulatePRIME() (CaseStudy, error) { return custom.PRIME() }
+
+// SimulateISAAC reproduces the ISAAC tile case study (Table VII).
+func SimulateISAAC() (CaseStudy, error) { return custom.ISAAC() }

@@ -1,0 +1,179 @@
+package mnsim
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NetworkScale = []LayerShape{{Rows: 256, Cols: 128}, {Rows: 128, Cols: 10}}
+	cfg.CMOSTech = 45
+	cfg.InterconnectTech = 45
+	return cfg
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	rep, err := Simulate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AreaMM2 <= 0 || rep.Power <= 0 || rep.EnergyPerSample <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.ErrorWorst <= 0 || rep.ErrorWorst >= 1 {
+		t.Fatalf("error rate: %v", rep.ErrorWorst)
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig() // no NetworkScale
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("empty network accepted")
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "acc.cfg")
+	src := "Network_Scale = 64x32\nCrossbar_Size = 64\nCMOS_Tech = 45\nInterconnect_Tech = 45\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CrossbarSize != 64 || len(cfg.NetworkScale) != 1 {
+		t.Fatalf("config: %+v", cfg)
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.cfg")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseConfigFacade(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader("Network_Scale = 8x8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.NetworkScale) != 1 {
+		t.Fatalf("config: %+v", cfg)
+	}
+}
+
+func TestBuildAndEvaluateFacade(t *testing.T) {
+	cfg := testConfig()
+	d, layers, err := DesignFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(&d, layers, [2]int(cfg.InterfaceNumber))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != direct {
+		t.Fatalf("Build+Evaluate %+v differs from Simulate %+v", rep, direct)
+	}
+}
+
+func TestExploreFacade(t *testing.T) {
+	cfg := testConfig()
+	d, layers, err := DesignFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Explore(d, layers, Space{
+		CrossbarSizes: []int{64, 128},
+		Parallelisms:  []int{1, 64},
+		WireNodes:     []int{45},
+	}, ExploreOptions{ErrorLimit: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for _, obj := range Objectives() {
+		if Best(cands, obj) == nil {
+			t.Fatalf("no best for %v", obj)
+		}
+	}
+}
+
+func TestNetworksFacade(t *testing.T) {
+	if got := VGG16().NeuromorphicLayers(); got != 16 {
+		t.Errorf("VGG16 layers = %d", got)
+	}
+	if got := CaffeNet().NeuromorphicLayers(); got != 8 {
+		t.Errorf("CaffeNet layers = %d", got)
+	}
+}
+
+func TestCaseStudiesFacade(t *testing.T) {
+	prime, err := SimulatePRIME()
+	if err != nil {
+		t.Fatal(err)
+	}
+	isaac, err := SimulateISAAC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prime.Name != "PRIME" || isaac.Name != "ISAAC" {
+		t.Fatalf("case studies: %v / %v", prime.Name, isaac.Name)
+	}
+}
+
+// A whole-flow consistency property: doubling every layer of the network
+// roughly doubles area and energy but leaves the pipeline cycle unchanged
+// (same per-bank structure).
+func TestSimulateScalesWithDepth(t *testing.T) {
+	cfg := testConfig()
+	cfg.NetworkScale = []LayerShape{{Rows: 256, Cols: 256}}
+	one, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NetworkScale = []LayerShape{{Rows: 256, Cols: 256}, {Rows: 256, Cols: 256}}
+	cfg.NetworkDepth = 0
+	two, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := two.EnergyPerSample / one.EnergyPerSample
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("energy ratio = %v, want ~2", ratio)
+	}
+	if math.Abs(two.PipelineCycle-one.PipelineCycle)/one.PipelineCycle > 1e-9 {
+		t.Errorf("pipeline cycle changed: %v vs %v", two.PipelineCycle, one.PipelineCycle)
+	}
+	if two.ErrorWorst <= one.ErrorWorst {
+		t.Errorf("deeper network should accumulate more error")
+	}
+}
+
+func TestDefaultSpaceFacade(t *testing.T) {
+	s := DefaultSpace()
+	if len(s.CrossbarSizes) == 0 || len(s.Parallelisms) == 0 || len(s.WireNodes) == 0 {
+		t.Fatalf("space: %+v", s)
+	}
+}
+
+func TestDefaultConfigValidatesWithScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NetworkScale = []LayerShape{{Rows: 8, Cols: 8}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
