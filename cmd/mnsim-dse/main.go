@@ -7,6 +7,7 @@
 //
 //	mnsim-dse -case largebank [-errlimit 0.25]
 //	mnsim-dse -case vgg16 [-errlimit 0.5]
+//	mnsim-dse -case largebank -metrics-out m.prom -trace-out t.json -pprof localhost:6060
 package main
 
 import (
@@ -19,39 +20,58 @@ import (
 	"mnsim"
 
 	"mnsim/internal/arch"
+	_ "mnsim/internal/circuit" // register the solver metric families in the telemetry export
 	"mnsim/internal/device"
 	"mnsim/internal/dse"
 	"mnsim/internal/periph"
 	"mnsim/internal/report"
 	"mnsim/internal/tech"
+	"mnsim/internal/telemetry"
 )
 
 func main() {
 	caseName := flag.String("case", "largebank", "case study: largebank or vgg16")
 	errLimit := flag.Float64("errlimit", 0, "error-rate constraint (default 0.25 largebank, 0.5 vgg16)")
 	csvOut := flag.String("csvout", "", "also dump every explored candidate as CSV to this file (for plotting Figs. 7-8)")
+	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(os.Stdout, *caseName, *errLimit, *csvOut); err != nil {
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim-dse:", err)
+		os.Exit(1)
+	}
+	err := run(os.Stdout, *caseName, *errLimit, *csvOut)
+	// The telemetry dumps are written even when the run fails: a failed
+	// sweep's metrics are exactly what the user wants to inspect.
+	if ferr := tel.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim-dse:", err)
 		os.Exit(1)
 	}
 }
 
-// dumpCSV writes the full candidate list for external plotting.
-func dumpCSV(path string, cands []mnsim.Candidate) error {
+// dumpCSV writes the full candidate list for external plotting. The
+// eval_us column is each candidate's build-and-evaluate wall time from the
+// dse.explore/candidate telemetry span.
+func dumpCSV(path string, cands []mnsim.Candidate) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	tab := &report.Table{Headers: []string{
 		"crossbar_size", "parallelism", "wire_node_nm",
-		"area_mm2", "energy_j", "latency_s", "power_w", "error_worst", "feasible",
+		"area_mm2", "energy_j", "latency_s", "power_w", "error_worst", "feasible", "eval_us",
 	}}
 	for _, c := range cands {
 		tab.AddRow(c.CrossbarSize, c.Parallelism, c.WireNode,
 			c.Report.AreaMM2, c.Report.EnergyPerSample, c.Report.PipelineCycle,
-			c.Report.Power, c.Report.ErrorWorst, c.Feasible)
+			c.Report.Power, c.Report.ErrorWorst, c.Feasible, c.EvalTime.Microseconds())
 	}
 	return tab.WriteCSV(f)
 }

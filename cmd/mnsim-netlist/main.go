@@ -19,6 +19,7 @@ import (
 	"mnsim/internal/crossbar"
 	"mnsim/internal/device"
 	"mnsim/internal/tech"
+	"mnsim/internal/telemetry"
 )
 
 func main() {
@@ -28,8 +29,17 @@ func main() {
 	linear := flag.Bool("linear", false, "emit linear resistor cells instead of sinh sources")
 	out := flag.String("out", "", "output file (default stdout)")
 	seed := flag.Int64("seed", 1, "random seed for the weight population")
+	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(os.Stdout, *size, *node, *model, *linear, *out, *seed); err != nil {
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim-netlist:", err)
+		os.Exit(1)
+	}
+	err := run(os.Stdout, *size, *node, *model, *linear, *out, *seed)
+	if ferr := tel.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim-netlist:", err)
 		os.Exit(1)
 	}

@@ -6,6 +6,7 @@
 //
 //	mnsim-validate -table2 -table3 -fig5        # run everything
 //	mnsim-validate -table3 -maxsize 128         # bound the slowest solve
+//	mnsim-validate -table3 -metrics-out m.prom  # dump Newton/CG iteration histograms
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"mnsim/internal/report"
+	"mnsim/internal/telemetry"
 	"mnsim/internal/validate"
 )
 
@@ -25,11 +27,20 @@ func main() {
 	f5 := flag.Bool("fig5", false, "run the Fig. 5 error-rate fit sweep")
 	maxSize := flag.Int("maxsize", 256, "largest crossbar size for the circuit-level solves")
 	seed := flag.Int64("seed", 1, "random seed")
+	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if !*t2 && !*t3 && !*f5 {
 		*t2, *t3, *f5 = true, true, true
 	}
-	if err := run(os.Stdout, *t2, *t3, *f5, *maxSize, *seed); err != nil {
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim-validate:", err)
+		os.Exit(1)
+	}
+	err := run(os.Stdout, *t2, *t3, *f5, *maxSize, *seed)
+	if ferr := tel.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim-validate:", err)
 		os.Exit(1)
 	}

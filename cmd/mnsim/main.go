@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mnsim -config accelerator.cfg [-csv]
+//	mnsim -config accelerator.cfg -metrics-out m.prom -trace-out t.json -pprof localhost:6060
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"mnsim"
 
 	"mnsim/internal/arch"
+	_ "mnsim/internal/circuit" // register the solver metric families in the telemetry export
 	"mnsim/internal/report"
+	"mnsim/internal/telemetry"
 )
 
 func main() {
@@ -26,13 +29,22 @@ func main() {
 	dump := flag.Bool("dump", false, "print the effective configuration (defaults resolved) before the report")
 	optimize := flag.Bool("optimize", false, "also explore crossbar size / parallelism / interconnect around the configured design and print the per-target optima (Section IV.A: MNSIM gives the optimal design when configurations are left open)")
 	errLimit := flag.Float64("errlimit", 0.25, "error-rate constraint for -optimize")
+	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "mnsim: -config is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *cfgPath, *csv, *dump, *optimize, *errLimit); err != nil {
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim:", err)
+		os.Exit(1)
+	}
+	err := run(os.Stdout, *cfgPath, *csv, *dump, *optimize, *errLimit)
+	if ferr := tel.Finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim:", err)
 		os.Exit(1)
 	}

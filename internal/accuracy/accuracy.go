@@ -11,6 +11,14 @@
 // The resulting voltage error rate ε feeds the digital deviation model
 // (Eq. 12–14), the layer-to-layer propagation rule (Eq. 15), and the
 // device-variation extension (Eq. 16).
+//
+// # Seeding contract
+//
+// The statistical extension (MonteCarlo) is deterministic by default: when
+// MCOptions.Rng is nil, each call builds a fresh generator seeded with
+// DefaultSeed, so two runs with identical options produce bit-identical
+// results. Callers that want decorrelated runs must pass their own
+// explicitly seeded *rand.Rand.
 package accuracy
 
 import (

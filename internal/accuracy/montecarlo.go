@@ -1,13 +1,26 @@
 package accuracy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"mnsim/internal/crossbar"
+	"mnsim/internal/telemetry"
 )
+
+// Monte-Carlo telemetry: cumulative trial count and the sampling rate of
+// the most recent run.
+var (
+	telMCTrials     = telemetry.GetCounter("mnsim_accuracy_mc_trials_total")
+	telMCSamplesSec = telemetry.GetGauge("mnsim_accuracy_mc_samples_per_second")
+)
+
+// DefaultSeed seeds the generator MonteCarlo builds when MCOptions.Rng is
+// nil; see the seeding contract on that field.
+const DefaultSeed = 1
 
 // MCOptions tunes a Monte-Carlo accuracy run.
 type MCOptions struct {
@@ -17,7 +30,10 @@ type MCOptions struct {
 	// cell's deviation uniformly from [-sigma, +sigma] (Eq. 16's random
 	// factor, sampled instead of worst-cased).
 	Sigma float64
-	// Rng supplies randomness; required.
+	// Rng supplies randomness. Nil selects a fresh deterministic generator
+	// seeded with DefaultSeed, so repeated runs with identical options
+	// produce bit-identical results — pass an explicitly seeded generator
+	// to decorrelate runs or to share one stream across calls.
 	Rng *rand.Rand
 }
 
@@ -50,8 +66,15 @@ func MonteCarlo(p crossbar.Params, opt MCOptions) (MCResult, error) {
 		return MCResult{}, fmt.Errorf("accuracy: sigma %g outside [0,0.5]", opt.Sigma)
 	}
 	if opt.Rng == nil {
-		return MCResult{}, fmt.Errorf("accuracy: Monte-Carlo needs an RNG")
+		opt.Rng = rand.New(rand.NewSource(DefaultSeed))
 	}
+	_, sp := telemetry.StartSpan(context.Background(), "accuracy.montecarlo")
+	defer func() {
+		if d := sp.End(); d > 0 {
+			telMCSamplesSec.Set(float64(opt.Trials) / d.Seconds())
+		}
+		telMCTrials.Add(int64(opt.Trials))
+	}()
 	errs := make([]float64, 0, opt.Trials)
 	gs := 1 / p.RSense
 	wire := WireTerm(p.Rows, p.Cols, p.Wire.SegmentR)

@@ -71,9 +71,6 @@ func TestMonteCarloErrors(t *testing.T) {
 	if _, err := MonteCarlo(p, MCOptions{Trials: 10, Sigma: 0.9, Rng: rng}); err == nil {
 		t.Error("huge sigma accepted")
 	}
-	if _, err := MonteCarlo(p, MCOptions{Trials: 10}); err == nil {
-		t.Error("nil rng accepted")
-	}
 	bad := p
 	bad.Rows = 0
 	if _, err := MonteCarlo(bad, MCOptions{Trials: 10, Rng: rng}); err == nil {
@@ -94,5 +91,32 @@ func TestMonteCarloDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// The seeding contract: a nil Rng selects a fresh generator seeded with
+// DefaultSeed, so repeated runs are bit-identical to each other and to an
+// explicit DefaultSeed generator.
+func TestMonteCarloNilRngDeterministic(t *testing.T) {
+	p := refParams(32, 45)
+	opt := MCOptions{Trials: 300, Sigma: 0.1}
+	a, err := MonteCarlo(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nil-Rng runs differ: %+v vs %+v", a, b)
+	}
+	opt.Rng = rand.New(rand.NewSource(DefaultSeed))
+	c, err := MonteCarlo(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Fatalf("nil Rng does not match explicit DefaultSeed: %+v vs %+v", a, c)
 	}
 }

@@ -1,9 +1,19 @@
 package arch
 
 import (
+	"context"
 	"fmt"
 
 	"mnsim/internal/periph"
+	"mnsim/internal/telemetry"
+)
+
+// Report-building telemetry: evaluation count and wall time per report
+// (microseconds). A DSE sweep performs one evaluation per candidate, so
+// this histogram is the behaviour-model cost distribution of the sweep.
+var (
+	telEvaluations = telemetry.GetCounter("mnsim_arch_evaluations_total")
+	telEvalUS      = telemetry.GetHistogram("mnsim_arch_evaluate_us", telemetry.ExponentialBuckets(1, 4, 10))
 )
 
 // Accelerator is the top hierarchy level (Section III.A, Fig. 1b): the
@@ -73,6 +83,11 @@ type Report struct {
 // Evaluate aggregates the accelerator's performance bottom-up and runs the
 // layer-by-layer accuracy propagation (Eq. 15).
 func (a *Accelerator) Evaluate() (Report, error) {
+	_, sp := telemetry.StartSpan(context.Background(), "arch.evaluate")
+	defer func() {
+		telEvaluations.Inc()
+		telEvalUS.Observe(float64(sp.End().Microseconds()))
+	}()
 	var r Report
 	areaUM2 := a.InIface.Area + a.OutIface.Area
 	staticPower := a.InIface.StaticPower + a.OutIface.StaticPower

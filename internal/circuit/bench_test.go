@@ -1,0 +1,56 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnsim/internal/device"
+)
+
+// BenchmarkSolve times one non-linear crossbar solve and reports the
+// Newton and CG iteration counts alongside ns/op, so an iteration-count
+// regression (a solver that still converges but works harder for it)
+// shows up in the bench trajectory even when wall time hides it behind
+// machine noise.
+func BenchmarkSolve(b *testing.B) {
+	for _, size := range []int{16, 32, 64} {
+		b.Run(benchName(size), func(b *testing.B) {
+			dev := device.RRAM()
+			rng := rand.New(rand.NewSource(1))
+			c := &Crossbar{
+				M: size, N: size,
+				R:      randomR(size, size, dev, rng),
+				WireR:  2.5,
+				RSense: 1e3,
+				Dev:    dev,
+			}
+			vin := make([]float64, size)
+			for i := range vin {
+				vin[i] = 2 * dev.ReadVoltage * rng.Float64()
+			}
+			var newton, cg int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Solve(vin, SolveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				newton += res.NewtonIters
+				cg += res.CGIters
+			}
+			b.ReportMetric(float64(newton)/float64(b.N), "newton-iters/op")
+			b.ReportMetric(float64(cg)/float64(b.N), "cg-iters/op")
+		})
+	}
+}
+
+func benchName(size int) string {
+	switch size {
+	case 16:
+		return "16x16"
+	case 32:
+		return "32x32"
+	default:
+		return "64x64"
+	}
+}

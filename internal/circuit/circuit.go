@@ -18,12 +18,26 @@
 package circuit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"mnsim/internal/device"
 	"mnsim/internal/linalg"
+	"mnsim/internal/telemetry"
+)
+
+// Solver telemetry: per-solve Newton and cumulative CG iteration
+// histograms (the quantities behind the paper's Table III timing claims),
+// plus solve and divergence counters. Registered at package init so every
+// export lists the solver families, observed or not.
+var (
+	telSolves        = telemetry.GetCounter("mnsim_circuit_solves_total")
+	telDiverged      = telemetry.GetCounter("mnsim_circuit_newton_divergence_total")
+	telNewtonIters   = telemetry.GetHistogram("mnsim_circuit_newton_iterations", telemetry.LinearBuckets(1, 1, 20))
+	telCGIters       = telemetry.GetHistogram("mnsim_circuit_cg_iterations_per_solve", telemetry.ExponentialBuckets(8, 2, 12))
+	telZeroWireSolve = telemetry.GetCounter("mnsim_circuit_zero_wire_solves_total")
 )
 
 // Crossbar describes one crossbar instance to simulate at circuit level.
@@ -274,8 +288,25 @@ type SolveOptions struct {
 var ErrNewtonDiverged = errors.New("circuit: Newton iteration did not converge")
 
 // Solve computes the DC operating point for the given input voltage vector
-// (length M).
+// (length M). It is a convenience wrapper over SolveContext with a
+// background context.
 func (c *Crossbar) Solve(vin []float64, opt SolveOptions) (*Result, error) {
+	return c.SolveContext(context.Background(), vin, opt)
+}
+
+// SolveContext is Solve with a caller-supplied context: the solve's
+// telemetry span nests under any span already open in ctx, so a DSE sweep
+// or validation run attributes solver time to the candidate that spent it.
+func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOptions) (res *Result, err error) {
+	_, sp := telemetry.StartSpan(ctx, "circuit.solve")
+	defer func() {
+		sp.End()
+		if res != nil {
+			telSolves.Inc()
+			telNewtonIters.Observe(float64(res.NewtonIters))
+			telCGIters.Observe(float64(res.CGIters))
+		}
+	}()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -292,13 +323,14 @@ func (c *Crossbar) Solve(vin []float64, opt SolveOptions) (*Result, error) {
 		opt.CGTol = 1e-10
 	}
 	if c.WireR == 0 {
+		telZeroWireSolve.Inc()
 		return c.solveZeroWire(vin)
 	}
 	a, err := c.assemble(vin)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res = &Result{}
 	// Initial linear solve at calibrated resistances.
 	v, it, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: opt.CGTol})
 	if err != nil {
@@ -329,6 +361,9 @@ func (c *Crossbar) Solve(vin []float64, opt SolveOptions) (*Result, error) {
 				break
 			}
 			if iter == opt.MaxNewton-1 {
+				telDiverged.Inc()
+				telemetry.Log().Warn("newton iteration diverged",
+					"size", fmt.Sprintf("%dx%d", c.M, c.N), "max_newton", opt.MaxNewton, "tol", opt.Tol)
 				return nil, ErrNewtonDiverged
 			}
 		}

@@ -7,12 +7,27 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+	"time"
 
 	"mnsim/internal/arch"
 	"mnsim/internal/tech"
+	"mnsim/internal/telemetry"
+)
+
+// Exploration telemetry: grid-point outcome counters plus a per-candidate
+// evaluation-time histogram (microseconds). The paper's "10,220 designs in
+// 4 seconds" claim is exactly the product of these two numbers.
+var (
+	telCandidates  = telemetry.GetCounter("mnsim_dse_candidates_total")
+	telFeasible    = telemetry.GetCounter("mnsim_dse_candidates_feasible_total")
+	telInfeasible  = telemetry.GetCounter("mnsim_dse_candidates_infeasible_total")
+	telUnbuildable = telemetry.GetCounter("mnsim_dse_candidates_unbuildable_total")
+	telEvalUS      = telemetry.GetHistogram("mnsim_dse_candidate_eval_us", telemetry.ExponentialBuckets(1, 4, 10))
 )
 
 // Space is the parameter grid to traverse.
@@ -46,6 +61,9 @@ type Candidate struct {
 	// Feasible is false when the design violates the error constraint; such
 	// candidates are kept for trade-off plots but excluded from Best.
 	Feasible bool
+	// EvalTime is the wall time spent building and evaluating this design
+	// point, from the dse.explore/candidate telemetry span.
+	EvalTime time.Duration
 }
 
 // Objective selects the optimization target of Best (Tables IV/VI columns).
@@ -122,7 +140,10 @@ func Explore(base arch.Design, layers []arch.LayerDims, space Space, opt Options
 	if len(space.CrossbarSizes) == 0 || len(space.Parallelisms) == 0 || len(space.WireNodes) == 0 {
 		return nil, fmt.Errorf("dse: empty exploration space")
 	}
+	ctx, sweep := telemetry.StartSpan(context.Background(), "dse.explore")
+	defer sweep.End()
 	var out []Candidate
+	feasible := 0
 	for _, node := range space.WireNodes {
 		wire, err := tech.Interconnect(node)
 		if err != nil {
@@ -137,33 +158,52 @@ func Explore(base arch.Design, layers []arch.LayerDims, space Space, opt Options
 				d.CrossbarSize = size
 				d.Parallelism = p
 				d.Wire = wire
+				_, cs := telemetry.StartSpan(ctx, "candidate")
 				a, err := arch.NewAccelerator(&d, layers, opt.Interface)
 				if err != nil {
+					cs.End()
+					telUnbuildable.Inc()
 					continue // infeasible grid point (e.g. weight overflow)
 				}
 				r, err := a.Evaluate()
+				evalTime := cs.End()
 				if err != nil {
 					return nil, fmt.Errorf("dse: size %d p %d node %d: %w", size, p, node, err)
 				}
-				out = append(out, Candidate{
+				telCandidates.Inc()
+				telEvalUS.Observe(float64(evalTime.Microseconds()))
+				c := Candidate{
 					CrossbarSize: size,
 					Parallelism:  p,
 					WireNode:     node,
 					Report:       r,
 					Feasible:     math.Abs(r.ErrorWorst) <= opt.ErrorLimit,
-				})
+					EvalTime:     evalTime,
+				}
+				if c.Feasible {
+					feasible++
+					telFeasible.Inc()
+				} else {
+					telInfeasible.Inc()
+				}
+				out = append(out, c)
 			}
 		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("dse: no buildable design in the space")
 	}
+	telemetry.Log().Debug("dse sweep done",
+		"candidates", len(out), "feasible", feasible, "infeasible", len(out)-feasible)
 	return out, nil
 }
 
 // Best returns the feasible candidate minimising the objective, or nil when
-// no candidate is feasible.
+// no candidate is feasible. Each objective's selection pass is timed under
+// its own span (dse.select.<objective>).
 func Best(cands []Candidate, obj Objective) *Candidate {
+	_, sp := telemetry.StartSpan(context.Background(), "dse.select."+strings.ToLower(obj.String()))
+	defer sp.End()
 	var best *Candidate
 	for i := range cands {
 		c := &cands[i]

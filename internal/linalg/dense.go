@@ -81,6 +81,7 @@ func FactorLU(m *Dense) (*LU, error) {
 		return nil, fmt.Errorf("linalg: LU needs a square matrix, got %dx%d", m.Rows, m.Cols)
 	}
 	n := m.Rows
+	telLUFactorsTotal.Inc()
 	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
 	copy(f.lu, m.Data)
 	for i := range f.piv {

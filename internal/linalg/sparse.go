@@ -5,6 +5,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mnsim/internal/telemetry"
+)
+
+// Linear-core telemetry: every CG solve in the process lands here, whatever
+// the caller, so the iteration totals behind a sweep are recoverable from
+// one export.
+var (
+	telCGSolves       = telemetry.GetCounter("mnsim_linalg_cg_solves_total")
+	telCGItersTotal   = telemetry.GetCounter("mnsim_linalg_cg_iterations_total")
+	telCGIterHist     = telemetry.GetHistogram("mnsim_linalg_cg_iterations", telemetry.ExponentialBuckets(1, 2, 14))
+	telCGNoConverge   = telemetry.GetCounter("mnsim_linalg_cg_no_convergence_total")
+	telLUFactorsTotal = telemetry.GetCounter("mnsim_linalg_lu_factorizations_total")
 )
 
 // Coord is one (row, col, value) triplet used while assembling a sparse
@@ -165,6 +178,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	}
 	normB := Norm2(b)
 	if normB == 0 {
+		observeCG(0)
 		return x, 0, nil // b = 0 → x = 0 (or x0-projected; zero is the SPD solution)
 	}
 	z := make([]float64, n)
@@ -181,6 +195,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 		AXPY(alpha, p, x)
 		AXPY(-alpha, ap, r)
 		if Norm2(r)/normB < opt.Tol {
+			observeCG(it)
 			return x, it, nil
 		}
 		for i := range z {
@@ -193,7 +208,16 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
+	observeCG(opt.MaxIter)
+	telCGNoConverge.Inc()
 	return x, opt.MaxIter, ErrNoConvergence
+}
+
+// observeCG folds one finished CG solve into the package metrics.
+func observeCG(iters int) {
+	telCGSolves.Inc()
+	telCGItersTotal.Add(int64(iters))
+	telCGIterHist.Observe(float64(iters))
 }
 
 // IsSymmetric reports whether the matrix is numerically symmetric within

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"time"
+)
+
+// Flags bundles the observability flags every MNSIM CLI shares:
+//
+//	-metrics-out file   write the metrics registry on exit
+//	                    (Prometheus text; JSON when the path ends in .json)
+//	-trace-out file     write the aggregated span trace as JSON on exit
+//	-pprof addr         serve net/http/pprof (e.g. localhost:6060)
+//	-log-level level    default-logger verbosity (debug|info|warn|error|off)
+//
+// Wire them with AddFlags before flag.Parse, call Start after parsing, and
+// Finish once the run completes (Finish writes the dump files, so it must
+// run on the error path too — the dumps of a failed sweep are exactly what
+// the user wants to look at).
+type Flags struct {
+	MetricsOut string
+	TraceOut   string
+	PprofAddr  string
+	LogLevel   string
+
+	srv *http.Server
+}
+
+// AddFlags registers the shared observability flags on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsOut, "metrics-out", "",
+		"write metrics to this file on exit (Prometheus text format, or JSON if the path ends in .json)")
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write the aggregated span trace as JSON to this file on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.LogLevel, "log-level", "",
+		"structured-log verbosity: debug, info, warn (default), error, off")
+	return f
+}
+
+// Start applies the log level and brings up the pprof server. The listen
+// happens synchronously so a bad -pprof address fails the run immediately
+// instead of dying silently in a goroutine.
+func (f *Flags) Start() error {
+	if f.LogLevel != "" {
+		lv, err := ParseLevel(f.LogLevel)
+		if err != nil {
+			return err
+		}
+		SetLogLevel(lv)
+	}
+	if f.PprofAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", f.PprofAddr)
+	if err != nil {
+		return fmt.Errorf("telemetry: pprof listen: %w", err)
+	}
+	f.srv = &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns http.ErrServerClosed on Finish; anything else means
+		// profiling died mid-run, which is worth a warning but not a failure.
+		if err := f.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Log().Warn("pprof server stopped", "err", err)
+		}
+	}()
+	Log().Info("pprof serving", "addr", ln.Addr().String())
+	return nil
+}
+
+// Finish writes the requested dump files and stops the pprof server,
+// returning the first error encountered.
+func (f *Flags) Finish() error {
+	var first error
+	if f.MetricsOut != "" {
+		if err := WriteMetricsFile(f.MetricsOut); err != nil {
+			first = err
+		}
+	}
+	if f.TraceOut != "" {
+		if err := WriteTraceFile(f.TraceOut); err != nil && first == nil {
+			first = err
+		}
+	}
+	if f.srv != nil {
+		if err := f.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+		f.srv = nil
+	}
+	return first
+}

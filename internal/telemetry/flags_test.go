@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagsRegisterAndDump(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "m.prom")
+	js := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	if err := fs.Parse([]string{"-metrics-out", prom, "-trace-out", trace}); err != nil {
+		t.Fatal(err)
+	}
+	GetCounter("mnsim_flagtest_total").Inc()
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(promBody), "mnsim_flagtest_total 1") {
+		t.Fatalf("Prometheus dump missing counter:\n%s", promBody)
+	}
+	traceBody, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceBody), `"spans"`) {
+		t.Fatalf("trace dump malformed:\n%s", traceBody)
+	}
+	// A .json metrics path selects the JSON exporter.
+	f.MetricsOut, f.TraceOut = js, ""
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	jsBody, err := os.ReadFile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jsBody), `"counters"`) {
+		t.Fatalf("JSON dump malformed:\n%s", jsBody)
+	}
+}
+
+func TestFlagsBadPprofAddr(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-pprof", "256.256.256.256:99999"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err == nil {
+		f.Finish()
+		t.Fatal("bad pprof address accepted")
+	}
+}
+
+func TestFlagsBadLogLevel(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "shouty"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err == nil {
+		t.Fatal("bad log level accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedLogger returns a logger with a pinned clock so records are
+// byte-for-byte comparable.
+func fixedLogger(min Level) (*Logger, *strings.Builder) {
+	var sb strings.Builder
+	l := NewLogger(&sb, min)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	return l, &sb
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, sb := fixedLogger(LevelDebug)
+	l.Info("sweep done", "candidates", 300, "case", "large bank")
+	want := `2026-08-05T12:00:00Z level=info msg="sweep done" candidates=300 case="large bank"` + "\n"
+	if sb.String() != want {
+		t.Fatalf("got  %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	l, sb := fixedLogger(LevelWarn)
+	l.Debug("dropped")
+	l.Info("dropped")
+	l.Warn("kept")
+	l.Error("kept")
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Fatalf("got %d records, want 2:\n%s", got, sb.String())
+	}
+	l.SetLevel(LevelOff)
+	l.Error("dropped too")
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Fatalf("LevelOff still logs:\n%s", sb.String())
+	}
+}
+
+func TestLoggerOddKV(t *testing.T) {
+	l, sb := fixedLogger(LevelInfo)
+	l.Info("odd", "size", 128, "dangling")
+	if !strings.Contains(sb.String(), "size=128") || !strings.Contains(sb.String(), "!BADKEY=dangling") {
+		t.Fatalf("odd kv mishandled: %s", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "Info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	l, sb := fixedLogger(LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 200; k++ {
+				l.Info("tick", "k", k)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := strings.Count(sb.String(), "\n"); got != 8*200 {
+		t.Fatalf("got %d records, want %d", got, 8*200)
+	}
+}

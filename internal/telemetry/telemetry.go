@@ -1,0 +1,117 @@
+// Package telemetry is MNSIM-Go's zero-dependency observability layer.
+// The paper's headline result is simulation *speed* ("all the 10,220
+// designs are simulated within 4 seconds", Section VII.C) and its Table III
+// speed-up ratios hinge on knowing exactly where solver time goes; this
+// package is the measurement substrate those claims are checked against.
+//
+// It provides three facilities, all stdlib-only and safe for concurrent
+// use:
+//
+//   - a process-wide metrics Registry of atomic counters, gauges and
+//     fixed-bucket histograms, exportable as Prometheus text format or
+//     JSON (see WritePrometheus / WriteJSON);
+//
+//   - lightweight hierarchical span tracing: StartSpan(ctx, "dse.candidate")
+//     opens a span whose name is prefixed by any parent span carried in the
+//     context, and End() folds its wall time into a per-name aggregate
+//     (count / total / min / max) exported as JSON;
+//
+//   - a leveled key-value structured Logger.
+//
+// Library packages register their metrics as package-level variables
+// (GetCounter / GetHistogram), so importing an instrumented package is
+// enough to make its metric families appear in every export — including
+// families with zero observations, which documents what *could* have been
+// measured in a run.
+//
+// The CLIs expose the layer through three shared flags (AddFlags):
+// -metrics-out writes the registry on exit, -trace-out writes the span
+// aggregates, and -pprof serves net/http/pprof for CPU/heap profiling.
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// defaultRegistry and defaultTracer are the process-wide instances that the
+// package-level helpers and the instrumented library packages use.
+var (
+	defaultRegistry = NewRegistry()
+	defaultTracer   = NewTracer()
+)
+
+// Default returns the process-wide metrics registry.
+func Default() *Registry { return defaultRegistry }
+
+// DefaultTracer returns the process-wide span tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// GetCounter returns (registering on first use) a counter in the default
+// registry.
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns (registering on first use) a gauge in the default
+// registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetHistogram returns (registering on first use) a histogram in the
+// default registry. The bounds are only consulted on first registration.
+func GetHistogram(name string, bounds []float64) *Histogram {
+	return defaultRegistry.Histogram(name, bounds)
+}
+
+// WriteMetricsFile dumps the default registry to path: Prometheus text
+// format by default, JSON when the path ends in ".json".
+func WriteMetricsFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if hasJSONSuffix(path) {
+		return defaultRegistry.WriteJSON(f)
+	}
+	return defaultRegistry.WritePrometheus(f)
+}
+
+// WriteTraceFile dumps the default tracer's span aggregates as JSON.
+func WriteTraceFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return defaultTracer.WriteJSON(f)
+}
+
+func hasJSONSuffix(path string) bool {
+	const suf = ".json"
+	return len(path) >= len(suf) && path[len(path)-len(suf):] == suf
+}
+
+// validateName rejects metric names that cannot survive a Prometheus
+// exposition round-trip. Names must start with a letter or underscore and
+// contain only [a-zA-Z0-9_:].
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q (char %q at %d)", name, r, i)
+		}
+	}
+	return nil
+}
