@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"mnsim"
@@ -24,6 +26,7 @@ import (
 	"mnsim/internal/device"
 	"mnsim/internal/dse"
 	"mnsim/internal/periph"
+	"mnsim/internal/pool"
 	"mnsim/internal/report"
 	"mnsim/internal/tech"
 	"mnsim/internal/telemetry"
@@ -33,13 +36,18 @@ func main() {
 	caseName := flag.String("case", "largebank", "case study: largebank or vgg16")
 	errLimit := flag.Float64("errlimit", 0, "error-rate constraint (default 0.25 largebank, 0.5 vgg16)")
 	csvOut := flag.String("csvout", "", "also dump every explored candidate as CSV to this file (for plotting Figs. 7-8)")
+	workers := pool.AddFlag(flag.CommandLine)
 	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if err := tel.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim-dse:", err)
 		os.Exit(1)
 	}
-	err := run(os.Stdout, *caseName, *errLimit, *csvOut)
+	// Ctrl-C cancels the sweep mid-candidate instead of killing the
+	// process, so the telemetry dumps below still happen.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, os.Stdout, *caseName, *errLimit, *csvOut, *workers)
 	// The telemetry dumps are written even when the run fails: a failed
 	// sweep's metrics are exactly what the user wants to inspect.
 	if ferr := tel.Finish(); err == nil {
@@ -93,7 +101,7 @@ func baseDesign(weightBits int, neuron periph.NeuronKind) mnsim.Design {
 	}
 }
 
-func run(w io.Writer, caseName string, errLimit float64, csvOut string) error {
+func run(ctx context.Context, w io.Writer, caseName string, errLimit float64, csvOut string, workers int) error {
 	var (
 		base   mnsim.Design
 		layers []mnsim.LayerDims
@@ -131,13 +139,16 @@ func run(w io.Writer, caseName string, errLimit float64, csvOut string) error {
 		space.WireNodes = append(space.WireNodes, 90)
 	}
 	start := time.Now()
-	cands, err := mnsim.Explore(base, layers, space, mnsim.ExploreOptions{ErrorLimit: errLimit})
+	cands, err := mnsim.ExploreContext(ctx, base, layers, space, mnsim.ExploreOptions{
+		ErrorLimit: errLimit,
+		Workers:    workers,
+	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(w, "%s: %d designs simulated in %v (error limit %.0f%%)\n\n",
-		title, len(cands), elapsed.Round(time.Millisecond), errLimit*100)
+	fmt.Fprintf(w, "%s: %d designs simulated in %v on %d workers (error limit %.0f%%)\n\n",
+		title, len(cands), elapsed.Round(time.Millisecond), pool.Resolve(workers), errLimit*100)
 	if csvOut != "" {
 		if err := dumpCSV(csvOut, cands); err != nil {
 			return err

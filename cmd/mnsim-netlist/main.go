@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"mnsim/internal/circuit"
 	"mnsim/internal/crossbar"
@@ -35,7 +37,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mnsim-netlist:", err)
 		os.Exit(1)
 	}
-	err := run(os.Stdout, *size, *node, *model, *linear, *out, *seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, os.Stdout, *size, *node, *model, *linear, *out, *seed)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}
@@ -45,7 +49,7 @@ func main() {
 	}
 }
 
-func run(defaultOut io.Writer, size, node int, model string, linear bool, out string, seed int64) error {
+func run(ctx context.Context, defaultOut io.Writer, size, node int, model string, linear bool, out string, seed int64) error {
 	if size < 1 {
 		return fmt.Errorf("invalid size %d", size)
 	}
@@ -61,6 +65,9 @@ func run(defaultOut io.Writer, size, node int, model string, linear bool, out st
 	rng := rand.New(rand.NewSource(seed))
 	r := make([][]float64, size)
 	for i := range r {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("netlist generation aborted: %w", err)
+		}
 		r[i] = make([]float64, size)
 		for j := range r[i] {
 			res, err := dev.LevelResistance(rng.Intn(dev.Levels()))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunToWriter(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 4, 45, "RRAM", false, "", 1); err != nil {
+	if err := run(context.Background(), &sb, 4, 45, "RRAM", false, "", 1); err != nil {
 		t.Fatal(err)
 	}
 	deck := sb.String()
@@ -23,7 +24,7 @@ func TestRunToWriter(t *testing.T) {
 func TestRunLinearToFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "xbar.sp")
 	var sb strings.Builder
-	if err := run(&sb, 3, 28, "PCM", true, path, 2); err != nil {
+	if err := run(context.Background(), &sb, 3, 28, "PCM", true, path, 2); err != nil {
 		t.Fatal(err)
 	}
 	if sb.Len() != 0 {
@@ -40,10 +41,10 @@ func TestRunLinearToFile(t *testing.T) {
 
 func TestRunDeterministicSeed(t *testing.T) {
 	var a, b strings.Builder
-	if err := run(&a, 4, 45, "RRAM", false, "", 7); err != nil {
+	if err := run(context.Background(), &a, 4, 45, "RRAM", false, "", 7); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, 4, 45, "RRAM", false, "", 7); err != nil {
+	if err := run(context.Background(), &b, 4, 45, "RRAM", false, "", 7); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -53,16 +54,16 @@ func TestRunDeterministicSeed(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0, 45, "RRAM", false, "", 1); err == nil {
+	if err := run(context.Background(), &sb, 0, 45, "RRAM", false, "", 1); err == nil {
 		t.Error("size 0 accepted")
 	}
-	if err := run(&sb, 4, 77, "RRAM", false, "", 1); err == nil {
+	if err := run(context.Background(), &sb, 4, 77, "RRAM", false, "", 1); err == nil {
 		t.Error("unknown node accepted")
 	}
-	if err := run(&sb, 4, 45, "FeFET", false, "", 1); err == nil {
+	if err := run(context.Background(), &sb, 4, 45, "FeFET", false, "", 1); err == nil {
 		t.Error("unknown device accepted")
 	}
-	if err := run(&sb, 4, 45, "RRAM", false, filepath.Join(t.TempDir(), "no", "such", "dir", "x.sp"), 1); err == nil {
+	if err := run(context.Background(), &sb, 4, 45, "RRAM", false, filepath.Join(t.TempDir(), "no", "such", "dir", "x.sp"), 1); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 
+	"mnsim/internal/pool"
 	"mnsim/internal/report"
 	"mnsim/internal/telemetry"
 	"mnsim/internal/validate"
@@ -27,6 +30,7 @@ func main() {
 	f5 := flag.Bool("fig5", false, "run the Fig. 5 error-rate fit sweep")
 	maxSize := flag.Int("maxsize", 256, "largest crossbar size for the circuit-level solves")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := pool.AddFlag(flag.CommandLine)
 	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if !*t2 && !*t3 && !*f5 {
@@ -36,7 +40,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mnsim-validate:", err)
 		os.Exit(1)
 	}
-	err := run(os.Stdout, *t2, *t3, *f5, *maxSize, *seed)
+	// Ctrl-C cancels the in-flight circuit solves (mid-Newton-loop) instead
+	// of killing the process, so the telemetry dumps below still happen.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, os.Stdout, *t2, *t3, *f5, *maxSize, *seed, *workers)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}
@@ -46,9 +54,9 @@ func main() {
 	}
 }
 
-func run(w io.Writer, t2, t3, f5 bool, maxSize int, seed int64) error {
+func run(ctx context.Context, w io.Writer, t2, t3, f5 bool, maxSize int, seed int64, workers int) error {
 	if t2 {
-		rows, err := validate.TableII(validate.TableIIOptions{
+		rows, err := validate.TableIIContext(ctx, validate.TableIIOptions{
 			WeightSamples: 20, InputSamples: 100, Size: 128, Seed: seed,
 		})
 		if err != nil {
@@ -74,7 +82,7 @@ func run(w io.Writer, t2, t3, f5 bool, maxSize int, seed int64) error {
 				kept = append(kept, s)
 			}
 		}
-		rows, err := validate.TableIII(kept, seed)
+		rows, err := validate.TableIIIContext(ctx, kept, seed)
 		if err != nil {
 			return err
 		}
@@ -99,7 +107,7 @@ func run(w io.Writer, t2, t3, f5 bool, maxSize int, seed int64) error {
 				kept = append(kept, s)
 			}
 		}
-		pts, err := validate.Fig5(kept, []int{90, 45, 28, 22, 18})
+		pts, err := validate.Fig5Context(ctx, kept, []int{90, 45, 28, 22, 18}, workers)
 		if err != nil {
 			return err
 		}

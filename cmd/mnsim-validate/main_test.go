@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestRunTable3AndFig5(t *testing.T) {
 	}
 	var sb strings.Builder
 	// Keep the sweep small: sizes up to 32 only.
-	if err := run(&sb, false, true, true, 32, 1); err != nil {
+	if err := run(context.Background(), &sb, false, true, true, 32, 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -10,15 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"mnsim"
 
 	"mnsim/internal/arch"
 	_ "mnsim/internal/circuit" // register the solver metric families in the telemetry export
+	"mnsim/internal/pool"
 	"mnsim/internal/report"
 	"mnsim/internal/telemetry"
 )
@@ -29,6 +32,7 @@ func main() {
 	dump := flag.Bool("dump", false, "print the effective configuration (defaults resolved) before the report")
 	optimize := flag.Bool("optimize", false, "also explore crossbar size / parallelism / interconnect around the configured design and print the per-target optima (Section IV.A: MNSIM gives the optimal design when configurations are left open)")
 	errLimit := flag.Float64("errlimit", 0.25, "error-rate constraint for -optimize")
+	workers := pool.AddFlag(flag.CommandLine)
 	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *cfgPath == "" {
@@ -40,7 +44,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mnsim:", err)
 		os.Exit(1)
 	}
-	err := run(os.Stdout, *cfgPath, *csv, *dump, *optimize, *errLimit)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := run(ctx, os.Stdout, *cfgPath, *csv, *dump, *optimize, *errLimit, *workers)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}
@@ -50,7 +56,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, cfgPath string, csv, dump, optimize bool, errLimit float64) error {
+func run(ctx context.Context, w io.Writer, cfgPath string, csv, dump, optimize bool, errLimit float64, workers int) error {
 	cfg, err := mnsim.LoadConfig(cfgPath)
 	if err != nil {
 		return err
@@ -140,7 +146,7 @@ func run(w io.Writer, cfgPath string, csv, dump, optimize bool, errLimit float64
 	}
 	if optimize {
 		fmt.Fprintln(w)
-		return runOptimize(w, d, layers, [2]int(cfg.InterfaceNumber), errLimit)
+		return runOptimize(ctx, w, d, layers, [2]int(cfg.InterfaceNumber), errLimit, workers)
 	}
 	return nil
 }
@@ -148,10 +154,11 @@ func run(w io.Writer, cfgPath string, csv, dump, optimize bool, errLimit float64
 // runOptimize sweeps the design space around the configured design and
 // prints the per-target optimum — the behaviour the paper describes when
 // the user leaves configurations open.
-func runOptimize(w io.Writer, base mnsim.Design, layers []mnsim.LayerDims, iface [2]int, errLimit float64) error {
-	cands, err := mnsim.Explore(base, layers, mnsim.DefaultSpace(), mnsim.ExploreOptions{
+func runOptimize(ctx context.Context, w io.Writer, base mnsim.Design, layers []mnsim.LayerDims, iface [2]int, errLimit float64, workers int) error {
+	cands, err := mnsim.ExploreContext(ctx, base, layers, mnsim.DefaultSpace(), mnsim.ExploreOptions{
 		ErrorLimit: errLimit,
 		Interface:  iface,
+		Workers:    workers,
 	})
 	if err != nil {
 		return err

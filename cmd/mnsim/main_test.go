@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,7 @@ Interconnect_Tech = 45
 
 func TestRunTable(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, writeConfig(t, goodConfig), false, false, false, 0.25); err != nil {
+	if err := run(context.Background(), &sb, writeConfig(t, goodConfig), false, false, false, 0.25, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -40,7 +41,7 @@ func TestRunTable(t *testing.T) {
 
 func TestRunCSV(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, writeConfig(t, goodConfig), true, false, false, 0.25); err != nil {
+	if err := run(context.Background(), &sb, writeConfig(t, goodConfig), true, false, false, 0.25, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -54,21 +55,21 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, filepath.Join(t.TempDir(), "missing.cfg"), false, false, false, 0.25); err == nil {
+	if err := run(context.Background(), &sb, filepath.Join(t.TempDir(), "missing.cfg"), false, false, false, 0.25, 2); err == nil {
 		t.Error("missing config accepted")
 	}
-	if err := run(&sb, writeConfig(t, "Crossbar_Size = nope\n"), false, false, false, 0.25); err == nil {
+	if err := run(context.Background(), &sb, writeConfig(t, "Crossbar_Size = nope\n"), false, false, false, 0.25, 2); err == nil {
 		t.Error("bad config accepted")
 	}
 	// Valid parse but unknown tech node fails at design resolution.
-	if err := run(&sb, writeConfig(t, "Network_Scale = 8x8\nCMOS_Tech = 77\n"), false, false, false, 0.25); err == nil {
+	if err := run(context.Background(), &sb, writeConfig(t, "Network_Scale = 8x8\nCMOS_Tech = 77\n"), false, false, false, 0.25, 2); err == nil {
 		t.Error("unknown node accepted")
 	}
 }
 
 func TestRunDump(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, writeConfig(t, goodConfig), false, true, false, 0.25); err != nil {
+	if err := run(context.Background(), &sb, writeConfig(t, goodConfig), false, true, false, 0.25, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -81,7 +82,7 @@ func TestRunDump(t *testing.T) {
 
 func TestRunOptimize(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, writeConfig(t, goodConfig), false, false, true, 0.25); err != nil {
+	if err := run(context.Background(), &sb, writeConfig(t, goodConfig), false, false, true, 0.25, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -91,7 +92,7 @@ func TestRunOptimize(t *testing.T) {
 		}
 	}
 	// An impossible constraint fails loudly.
-	if err := run(&sb, writeConfig(t, goodConfig), false, false, true, 1e-9); err == nil {
+	if err := run(context.Background(), &sb, writeConfig(t, goodConfig), false, false, true, 1e-9, 2); err == nil {
 		t.Error("infeasible constraint accepted")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"mnsim/internal/crossbar"
+	"mnsim/internal/pool"
 	"mnsim/internal/telemetry"
 )
 
@@ -18,8 +19,8 @@ var (
 	telMCSamplesSec = telemetry.GetGauge("mnsim_accuracy_mc_samples_per_second")
 )
 
-// DefaultSeed seeds the generator MonteCarlo builds when MCOptions.Rng is
-// nil; see the seeding contract on that field.
+// DefaultSeed seeds the per-trial streams MonteCarlo derives when
+// MCOptions.Rng is nil; see the seeding contract on MCOptions.
 const DefaultSeed = 1
 
 // MCOptions tunes a Monte-Carlo accuracy run.
@@ -30,32 +31,121 @@ type MCOptions struct {
 	// cell's deviation uniformly from [-sigma, +sigma] (Eq. 16's random
 	// factor, sampled instead of worst-cased).
 	Sigma float64
-	// Rng supplies randomness. Nil selects a fresh deterministic generator
-	// seeded with DefaultSeed, so repeated runs with identical options
-	// produce bit-identical results — pass an explicitly seeded generator
-	// to decorrelate runs or to share one stream across calls.
+	// Rng supplies randomness in the legacy shared-stream mode: every trial
+	// draws from this one generator in sequence, which forces the run onto
+	// a single worker. Leave it nil to use the seeded per-trial streams
+	// (see Seed), which shard across workers deterministically.
 	Rng *rand.Rand
+	// Seed is the base of the per-trial stream family used when Rng is nil:
+	// trial t draws from a generator seeded with a splitmix64 mix of
+	// (Seed, t), so the sampled distribution is a pure function of
+	// (options, trial index) and parallel runs are bit-identical to
+	// sequential ones. Zero selects DefaultSeed.
+	Seed int64
+	// Workers bounds the goroutines sharding the trials; <= 0 selects
+	// runtime.GOMAXPROCS(0). Ignored (forced sequential) when Rng is set.
+	Workers int
 }
 
 // MCResult summarises the sampled distribution of the column output error
 // rate.
 type MCResult struct {
 	Mean, Std float64
-	// P50, P95, P99 are percentiles of the |error| distribution.
+	// P50, P95, P99 are linearly-interpolated percentiles of the |error|
+	// distribution.
 	P50, P95, P99 float64
 	// Max is the largest sampled |error|.
 	Max    float64
 	Trials int
 }
 
-// MonteCarlo samples the crossbar output error statistically: each trial
-// draws a random level population and random inputs, computes the exact
-// loaded analog output with deviated cell resistances (variation plus the
-// non-linear operating-point shift plus the lumped wire term), and compares
-// it against the ideal fixed-point result. Where Eval gives closed-form
-// average/worst cases, MonteCarlo gives the distribution between them —
-// the statistical extension follow-on platforms (MNSIM 2.0) added.
+// mcShardSize is the number of consecutive trials one pool task runs. The
+// grouping only amortises per-task scratch allocations — results never
+// depend on it, because every trial re-seeds its own stream.
+const mcShardSize = 64
+
+// trialSeed derives trial t's generator seed from the base seed with the
+// splitmix64 finalizer, decorrelating neighbouring trials.
+func trialSeed(base int64, t int) int64 {
+	z := uint64(base) + (uint64(t)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// mcScratch is the per-worker reusable state of the trial loop.
+type mcScratch struct {
+	rIdeal, vin []float64
+}
+
+func newMCScratch(rows int) *mcScratch {
+	return &mcScratch{rIdeal: make([]float64, rows), vin: make([]float64, rows)}
+}
+
+// trial runs one Monte-Carlo sample: draw random inputs and a random level
+// population for one representative column, compute the loaded analog
+// output with deviated cell resistances (variation plus the non-linear
+// operating-point shift plus the lumped wire term), and compare it against
+// the ideal fixed-point result. Returns the |relative error| and ok=false
+// for the degenerate all-zero-input case.
+func (s *mcScratch) trial(p crossbar.Params, sigma, gs, wire float64, rng *rand.Rand) (float64, bool, error) {
+	for i := range s.vin {
+		s.vin[i] = p.VDrive * rng.Float64()
+	}
+	numIdl, denIdl := 0.0, gs
+	numAct, denAct := 0.0, gs
+	for m := 0; m < p.Rows; m++ {
+		lvl := rng.Intn(p.Dev.Levels())
+		r, err := p.Dev.LevelResistance(lvl)
+		if err != nil {
+			return 0, false, err
+		}
+		s.rIdeal[m] = r
+		g := 1 / r
+		numIdl += g * s.vin[m]
+		denIdl += g
+	}
+	vIdl := numIdl / denIdl
+	// Actual: operating-point shift, variation, and the average lumped
+	// wire term shared across the column's cells.
+	for m := 0; m < p.Rows; m++ {
+		vCell := s.vin[m] - vIdl
+		if vCell < 0 {
+			vCell = 0
+		}
+		rAct := p.Dev.EffectiveR(vCell, s.rIdeal[m])
+		rAct *= 1 + sigma*(2*rng.Float64()-1)
+		rAct += wire / 2 // average cell position sees half the worst-corner wire term
+		g := 1 / rAct
+		numAct += g * s.vin[m]
+		denAct += g
+	}
+	vAct := numAct / denAct
+	if vIdl == 0 {
+		return 0, false, nil
+	}
+	return math.Abs((vIdl - vAct) / vIdl), true, nil
+}
+
+// MonteCarlo samples the crossbar output error statistically. Where Eval
+// gives closed-form average/worst cases, MonteCarlo gives the distribution
+// between them — the statistical extension follow-on platforms (MNSIM 2.0)
+// added. It is MonteCarloContext with a background context.
 func MonteCarlo(p crossbar.Params, opt MCOptions) (MCResult, error) {
+	return MonteCarloContext(context.Background(), p, opt)
+}
+
+// MonteCarloContext is MonteCarlo with a caller-supplied context.
+//
+// Trials shard across a bounded worker pool (MCOptions.Workers). In the
+// default seeded mode each trial draws from its own deterministic stream
+// (see MCOptions.Seed), and per-trial results land in an index-addressed
+// slice, so the returned MCResult is bit-identical for every worker count.
+// Cancelling ctx aborts the run with a wrapped ctx.Err().
+func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (MCResult, error) {
 	if err := p.Validate(); err != nil {
 		return MCResult{}, err
 	}
@@ -65,57 +155,74 @@ func MonteCarlo(p crossbar.Params, opt MCOptions) (MCResult, error) {
 	if opt.Sigma < 0 || opt.Sigma > 0.5 {
 		return MCResult{}, fmt.Errorf("accuracy: sigma %g outside [0,0.5]", opt.Sigma)
 	}
-	if opt.Rng == nil {
-		opt.Rng = rand.New(rand.NewSource(DefaultSeed))
-	}
-	_, sp := telemetry.StartSpan(context.Background(), "accuracy.montecarlo")
+	_, sp := telemetry.StartSpan(ctx, "accuracy.montecarlo")
 	defer func() {
 		if d := sp.End(); d > 0 {
 			telMCSamplesSec.Set(float64(opt.Trials) / d.Seconds())
 		}
 		telMCTrials.Add(int64(opt.Trials))
 	}()
-	errs := make([]float64, 0, opt.Trials)
 	gs := 1 / p.RSense
 	wire := WireTerm(p.Rows, p.Cols, p.Wire.SegmentR)
-	rIdeal := make([]float64, p.Rows)
-	vin := make([]float64, p.Rows)
-	for trial := 0; trial < opt.Trials; trial++ {
-		for i := range vin {
-			vin[i] = p.VDrive * opt.Rng.Float64()
-		}
-		// One representative column: random levels per cell.
-		numIdl, denIdl := 0.0, gs
-		numAct, denAct := 0.0, gs
-		for m := 0; m < p.Rows; m++ {
-			lvl := opt.Rng.Intn(p.Dev.Levels())
-			r, err := p.Dev.LevelResistance(lvl)
+	// samples[t] is trial t's |error|, NaN for a degenerate trial; the
+	// index addressing keeps the result independent of completion order.
+	samples := make([]float64, opt.Trials)
+	if opt.Rng != nil {
+		// Legacy shared-stream mode: every trial consumes the caller's one
+		// generator in sequence, so the run is inherently sequential.
+		s := newMCScratch(p.Rows)
+		for t := 0; t < opt.Trials; t++ {
+			if err := ctx.Err(); err != nil {
+				return MCResult{}, fmt.Errorf("accuracy: Monte-Carlo aborted: %w", err)
+			}
+			v, ok, err := s.trial(p, opt.Sigma, gs, wire, opt.Rng)
 			if err != nil {
 				return MCResult{}, err
 			}
-			rIdeal[m] = r
-			g := 1 / r
-			numIdl += g * vin[m]
-			denIdl += g
-		}
-		vIdl := numIdl / denIdl
-		// Actual: operating-point shift, variation, and the average lumped
-		// wire term shared across the column's cells.
-		for m := 0; m < p.Rows; m++ {
-			vCell := vin[m] - vIdl
-			if vCell < 0 {
-				vCell = 0
+			if !ok {
+				v = math.NaN()
 			}
-			rAct := p.Dev.EffectiveR(vCell, rIdeal[m])
-			rAct *= 1 + opt.Sigma*(2*opt.Rng.Float64()-1)
-			rAct += wire / 2 // average cell position sees half the worst-corner wire term
-			g := 1 / rAct
-			numAct += g * vin[m]
-			denAct += g
+			samples[t] = v
 		}
-		vAct := numAct / denAct
-		if vIdl != 0 {
-			errs = append(errs, math.Abs((vIdl-vAct)/vIdl))
+	} else {
+		seed := opt.Seed
+		if seed == 0 {
+			seed = DefaultSeed
+		}
+		shards := (opt.Trials + mcShardSize - 1) / mcShardSize
+		err := pool.Run(ctx, shards, opt.Workers, func(tctx context.Context, shard int) error {
+			s := newMCScratch(p.Rows)
+			rng := rand.New(rand.NewSource(1))
+			lo := shard * mcShardSize
+			hi := lo + mcShardSize
+			if hi > opt.Trials {
+				hi = opt.Trials
+			}
+			for t := lo; t < hi; t++ {
+				if err := tctx.Err(); err != nil {
+					return err
+				}
+				rng.Seed(trialSeed(seed, t))
+				v, ok, err := s.trial(p, opt.Sigma, gs, wire, rng)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					v = math.NaN()
+				}
+				samples[t] = v
+			}
+			return nil
+		})
+		if err != nil {
+			return MCResult{}, fmt.Errorf("accuracy: Monte-Carlo aborted: %w", err)
+		}
+	}
+	// Compact out the degenerate trials in index order, then sort.
+	errs := samples[:0]
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			errs = append(errs, v)
 		}
 	}
 	if len(errs) == 0 {
@@ -130,11 +237,27 @@ func MonteCarlo(p crossbar.Params, opt MCOptions) (MCResult, error) {
 	}
 	res.Mean = sum / float64(len(errs))
 	res.Std = math.Sqrt(math.Max(0, sumSq/float64(len(errs))-res.Mean*res.Mean))
-	pct := func(q float64) float64 {
-		idx := int(q * float64(len(errs)-1))
-		return errs[idx]
-	}
-	res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+	res.P50 = percentile(errs, 0.50)
+	res.P95 = percentile(errs, 0.95)
+	res.P99 = percentile(errs, 0.99)
 	res.Max = errs[len(errs)-1]
 	return res, nil
+}
+
+// percentile returns the q-th quantile of an ascending-sorted slice with
+// linear interpolation between the two straddling order statistics. The
+// previous truncating form int(q·(n−1)) biased P95/P99 low for small trial
+// counts (e.g. P99 of 100 sorted samples returned sample 98 exactly).
+func percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }

@@ -1,7 +1,11 @@
 package accuracy
 
 import (
+	"context"
+	"errors"
+	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -94,9 +98,9 @@ func TestMonteCarloDeterministic(t *testing.T) {
 	}
 }
 
-// The seeding contract: a nil Rng selects a fresh generator seeded with
-// DefaultSeed, so repeated runs are bit-identical to each other and to an
-// explicit DefaultSeed generator.
+// The seeding contract: a nil Rng selects the per-trial stream family based
+// on Seed (zero meaning DefaultSeed), so repeated runs are bit-identical to
+// each other and to an explicit Seed: DefaultSeed run.
 func TestMonteCarloNilRngDeterministic(t *testing.T) {
 	p := refParams(32, 45)
 	opt := MCOptions{Trials: 300, Sigma: 0.1}
@@ -111,12 +115,75 @@ func TestMonteCarloNilRngDeterministic(t *testing.T) {
 	if a != b {
 		t.Fatalf("nil-Rng runs differ: %+v vs %+v", a, b)
 	}
-	opt.Rng = rand.New(rand.NewSource(DefaultSeed))
+	opt.Seed = DefaultSeed
 	c, err := MonteCarlo(p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != c {
-		t.Fatalf("nil Rng does not match explicit DefaultSeed: %+v vs %+v", a, c)
+		t.Fatalf("zero Seed does not match explicit DefaultSeed: %+v vs %+v", a, c)
+	}
+	opt.Seed = DefaultSeed + 1
+	d, err := MonteCarlo(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Fatal("different seeds produced identical distributions")
+	}
+}
+
+// Parallel determinism: the seeded per-trial streams make the result a pure
+// function of (options, trial index), so every worker count yields the same
+// MCResult bit for bit.
+func TestMonteCarloParallelDeterminism(t *testing.T) {
+	p := refParams(32, 45)
+	// 333 trials is deliberately not a multiple of the shard size.
+	ref, err := MonteCarlo(p, MCOptions{Trials: 333, Sigma: 0.1, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := MonteCarlo(p, MCOptions{Trials: 333, Sigma: 0.1, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != ref {
+			t.Errorf("workers=%d: %+v differs from sequential %+v", workers, got, ref)
+		}
+	}
+}
+
+func TestMonteCarloCancelled(t *testing.T) {
+	p := refParams(32, 45)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MonteCarloContext(ctx, p, MCOptions{Trials: 500, Sigma: 0.1, Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("seeded mode: want context.Canceled, got %v", err)
+	}
+	if _, err := MonteCarloContext(ctx, p, MCOptions{Trials: 500, Sigma: 0.1, Rng: rand.New(rand.NewSource(1))}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("legacy Rng mode: want context.Canceled, got %v", err)
+	}
+}
+
+// Golden checks of the interpolated percentiles on tiny sorted slices.
+func TestPercentileInterpolation(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{[]float64{3}, 0.99, 3},
+		{[]float64{1, 2}, 0.5, 1.5},
+		{[]float64{0, 10}, 0.95, 9.5},
+		{[]float64{1, 2, 3, 4}, 0.5, 2.5},
+		{[]float64{0, 1, 2, 3, 4}, 0.95, 3.8},
+		{[]float64{0, 1, 2, 3, 4}, 1.0, 4},
+		{[]float64{0, 1, 2, 3, 4}, 0.0, 0},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("percentile(%v, %v) = %v, want %v", c.sorted, c.q, got, c.want)
+		}
 	}
 }

@@ -81,9 +81,18 @@ type Report struct {
 }
 
 // Evaluate aggregates the accelerator's performance bottom-up and runs the
-// layer-by-layer accuracy propagation (Eq. 15).
+// layer-by-layer accuracy propagation (Eq. 15). It is EvaluateContext with
+// a background context.
 func (a *Accelerator) Evaluate() (Report, error) {
-	_, sp := telemetry.StartSpan(context.Background(), "arch.evaluate")
+	return a.EvaluateContext(context.Background())
+}
+
+// EvaluateContext is Evaluate with a caller-supplied context: the
+// evaluation span nests under any span already open in ctx (so a DSE sweep
+// attributes the time to the candidate that spent it), and a cancelled
+// context aborts the evaluation between banks with a wrapped ctx.Err().
+func (a *Accelerator) EvaluateContext(ctx context.Context) (Report, error) {
+	_, sp := telemetry.StartSpan(ctx, "arch.evaluate")
 	defer func() {
 		telEvaluations.Inc()
 		telEvalUS.Observe(float64(sp.End().Microseconds()))
@@ -95,6 +104,9 @@ func (a *Accelerator) Evaluate() (Report, error) {
 	r.SampleLatency = a.InIface.Latency + a.OutIface.Latency
 	deltaAvg, deltaWorst := 0.0, 0.0
 	for _, b := range a.Banks {
+		if err := ctx.Err(); err != nil {
+			return Report{}, fmt.Errorf("arch: evaluation aborted: %w", err)
+		}
 		areaUM2 += b.PassPerf.Area
 		staticPower += b.PassPerf.StaticPower
 		r.EnergyPerSample += b.SampleEnergy

@@ -1,0 +1,35 @@
+package circuit
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mnsim/internal/device"
+)
+
+// An already-cancelled context aborts the solve before any Newton work, on
+// both the full wire-resistance path and the zero-wire bisection path.
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	vin := []float64{0.5, 0.5, 0.5, 0.5}
+	for name, c := range map[string]*Crossbar{
+		"wired":    {M: 4, N: 4, R: uniformR(4, 4, 1e3), WireR: 1, RSense: 100, Dev: device.RRAM()},
+		"zerowire": {M: 4, N: 4, R: uniformR(4, 4, 1e3), WireR: 0, RSense: 100, Dev: device.RRAM()},
+	} {
+		res, err := c.SolveContext(ctx, vin, SolveOptions{})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want wrapped context.Canceled, got %v", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: want nil result on cancellation, got %+v", name, res)
+		}
+	}
+	// The background context still solves, proving cancellation is the only
+	// thing the checks reject.
+	ok := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 1e3), WireR: 1, RSense: 100, Dev: device.RRAM()}
+	if _, err := ok.SolveContext(context.Background(), vin, SolveOptions{}); err != nil {
+		t.Fatalf("background context: %v", err)
+	}
+}

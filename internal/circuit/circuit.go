@@ -127,7 +127,7 @@ func (c *Crossbar) wireG() float64 {
 //
 // solved by bisection (the left side is strictly decreasing in V_n, the
 // right side strictly increasing, so the root is unique).
-func (c *Crossbar) solveZeroWire(vin []float64) (*Result, error) {
+func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64) (*Result, error) {
 	res := &Result{
 		VOut:        make([]float64, c.N),
 		NodeV:       make([]float64, 2*c.M*c.N),
@@ -151,6 +151,9 @@ func (c *Crossbar) solveZeroWire(vin []float64) (*Result, error) {
 		return c.Dev.Current(vd, r)
 	}
 	for n := 0; n < c.N; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("circuit: solve aborted: %w", err)
+		}
 		f := func(v float64) float64 {
 			sum := 0.0
 			for m := 0; m < c.M; m++ {
@@ -322,9 +325,15 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	if opt.CGTol <= 0 {
 		opt.CGTol = 1e-10
 	}
+	// Cancellation contract: ctx is checked before every linear (CG) solve
+	// and per bisection column, so an aborted sweep stops burning CPU
+	// mid-Newton-loop; the error wraps ctx.Err().
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: solve aborted: %w", err)
+	}
 	if c.WireR == 0 {
 		telZeroWireSolve.Inc()
-		return c.solveZeroWire(vin)
+		return c.solveZeroWire(ctx, vin)
 	}
 	a, err := c.assemble(vin)
 	if err != nil {
@@ -340,6 +349,9 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	res.NewtonIters = 1
 	if !c.Linear {
 		for iter := 0; iter < opt.MaxNewton; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("circuit: Newton iteration aborted: %w", err)
+			}
 			rhs := c.restamp(a, v)
 			if err := a.mat.UpdateValues(a.trips); err != nil {
 				return nil, err

@@ -8,13 +8,17 @@ package dse
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mnsim/internal/arch"
+	"mnsim/internal/pool"
 	"mnsim/internal/tech"
 	"mnsim/internal/telemetry"
 )
@@ -27,6 +31,7 @@ var (
 	telFeasible    = telemetry.GetCounter("mnsim_dse_candidates_feasible_total")
 	telInfeasible  = telemetry.GetCounter("mnsim_dse_candidates_infeasible_total")
 	telUnbuildable = telemetry.GetCounter("mnsim_dse_candidates_unbuildable_total")
+	telEvalFailed  = telemetry.GetCounter("mnsim_dse_candidates_evalfailed_total")
 	telEvalUS      = telemetry.GetHistogram("mnsim_dse_candidate_eval_us", telemetry.ExponentialBuckets(1, 4, 10))
 )
 
@@ -124,13 +129,45 @@ type Options struct {
 	ErrorLimit float64
 	// Interface is the accelerator I/O line pair.
 	Interface [2]int
+	// Workers bounds the goroutines evaluating grid points concurrently;
+	// <= 0 selects runtime.GOMAXPROCS(0). The candidate list is
+	// index-addressed, so any worker count produces the exact sequential
+	// output order.
+	Workers int
 }
 
-// Explore traverses the space, evaluating one accelerator per grid point.
-// The base design supplies everything except the three swept parameters.
-// Grid points that cannot be built (e.g. a crossbar too small for one
-// weight) are skipped silently — they are outside the feasible space.
-func Explore(base arch.Design, layers []arch.LayerDims, space Space, opt Options) ([]Candidate, error) {
+// gridPoint is one (wire node, crossbar size, parallelism) tuple of the
+// traversal, in sequential sweep order.
+type gridPoint struct {
+	size, p, node int
+	wire          tech.WireTech
+}
+
+// errUnbuildable tags NewAccelerator failures (grid points outside the
+// buildable space) apart from genuine evaluation failures.
+var errUnbuildable = errors.New("unbuildable design point")
+
+// evalCandidate builds and evaluates one accelerator; a package variable so
+// tests can inject evaluation failures without constructing a degenerate
+// design.
+var evalCandidate = func(ctx context.Context, d *arch.Design, layers []arch.LayerDims, iface [2]int) (arch.Report, error) {
+	a, err := arch.NewAccelerator(d, layers, iface)
+	if err != nil {
+		return arch.Report{}, fmt.Errorf("%w: %w", errUnbuildable, err)
+	}
+	return a.EvaluateContext(ctx)
+}
+
+// Explore traverses the space, evaluating one accelerator per grid point on
+// a bounded worker pool (Options.Workers). The base design supplies
+// everything except the three swept parameters. Grid points that cannot be
+// built (e.g. a crossbar too small for one weight) are skipped silently —
+// they are outside the feasible space. Grid points whose evaluation fails
+// are counted (mnsim_dse_candidates_evalfailed_total), logged, and skipped;
+// Explore only errors out when every buildable point fails. Cancelling ctx
+// aborts the sweep (including mid-Newton-loop in any circuit-level solve)
+// and returns the context's error.
+func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, space Space, opt Options) ([]Candidate, error) {
 	if opt.ErrorLimit <= 0 {
 		opt.ErrorLimit = 0.25
 	}
@@ -140,10 +177,9 @@ func Explore(base arch.Design, layers []arch.LayerDims, space Space, opt Options
 	if len(space.CrossbarSizes) == 0 || len(space.Parallelisms) == 0 || len(space.WireNodes) == 0 {
 		return nil, fmt.Errorf("dse: empty exploration space")
 	}
-	ctx, sweep := telemetry.StartSpan(context.Background(), "dse.explore")
-	defer sweep.End()
-	var out []Candidate
-	feasible := 0
+	// Resolve every wire node up front: an unknown node is a caller mistake
+	// that fails the whole sweep, not a skippable grid point.
+	points := make([]gridPoint, 0, len(space.WireNodes)*len(space.CrossbarSizes)*len(space.Parallelisms))
 	for _, node := range space.WireNodes {
 		wire, err := tech.Interconnect(node)
 		if err != nil {
@@ -154,47 +190,92 @@ func Explore(base arch.Design, layers []arch.LayerDims, space Space, opt Options
 				if p > size {
 					continue
 				}
-				d := base
-				d.CrossbarSize = size
-				d.Parallelism = p
-				d.Wire = wire
-				_, cs := telemetry.StartSpan(ctx, "candidate")
-				a, err := arch.NewAccelerator(&d, layers, opt.Interface)
-				if err != nil {
-					cs.End()
-					telUnbuildable.Inc()
-					continue // infeasible grid point (e.g. weight overflow)
-				}
-				r, err := a.Evaluate()
-				evalTime := cs.End()
-				if err != nil {
-					return nil, fmt.Errorf("dse: size %d p %d node %d: %w", size, p, node, err)
-				}
-				telCandidates.Inc()
-				telEvalUS.Observe(float64(evalTime.Microseconds()))
-				c := Candidate{
-					CrossbarSize: size,
-					Parallelism:  p,
-					WireNode:     node,
-					Report:       r,
-					Feasible:     math.Abs(r.ErrorWorst) <= opt.ErrorLimit,
-					EvalTime:     evalTime,
-				}
-				if c.Feasible {
-					feasible++
-					telFeasible.Inc()
-				} else {
-					telInfeasible.Inc()
-				}
-				out = append(out, c)
+				points = append(points, gridPoint{size: size, p: p, node: node, wire: wire})
 			}
 		}
 	}
+	ctx, sweep := telemetry.StartSpan(ctx, "dse.explore")
+	defer sweep.End()
+	// Index-addressed result slots keep the output in sequential sweep
+	// order no matter which worker finishes first.
+	results := make([]*Candidate, len(points))
+	var (
+		evalFailed  atomic.Int64
+		failMu      sync.Mutex
+		lastEvalErr error
+	)
+	err := pool.Run(ctx, len(points), opt.Workers, func(tctx context.Context, i int) error {
+		if err := tctx.Err(); err != nil {
+			return err
+		}
+		gp := points[i]
+		d := base
+		d.CrossbarSize = gp.size
+		d.Parallelism = gp.p
+		d.Wire = gp.wire
+		_, cs := telemetry.StartSpan(ctx, "candidate")
+		r, err := evalCandidate(tctx, &d, layers, opt.Interface)
+		evalTime := cs.End()
+		if err != nil {
+			if tctx.Err() != nil {
+				// A cancellation surfacing through the evaluation stack
+				// aborts the sweep rather than counting as a failed point.
+				return tctx.Err()
+			}
+			if errors.Is(err, errUnbuildable) {
+				telUnbuildable.Inc()
+				return nil // infeasible grid point (e.g. weight overflow)
+			}
+			telEvalFailed.Inc()
+			evalFailed.Add(1)
+			failMu.Lock()
+			lastEvalErr = fmt.Errorf("dse: size %d p %d node %d: %w", gp.size, gp.p, gp.node, err)
+			failMu.Unlock()
+			telemetry.Log().Warn("dse candidate evaluation failed",
+				"size", gp.size, "parallelism", gp.p, "wire_node", gp.node, "err", err)
+			return nil
+		}
+		telCandidates.Inc()
+		telEvalUS.Observe(float64(evalTime.Microseconds()))
+		c := &Candidate{
+			CrossbarSize: gp.size,
+			Parallelism:  gp.p,
+			WireNode:     gp.node,
+			Report:       r,
+			Feasible:     math.Abs(r.ErrorWorst) <= opt.ErrorLimit,
+			EvalTime:     evalTime,
+		}
+		if c.Feasible {
+			telFeasible.Inc()
+		} else {
+			telInfeasible.Inc()
+		}
+		results[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dse: sweep aborted: %w", err)
+	}
+	out := make([]Candidate, 0, len(results))
+	feasible := 0
+	for _, c := range results {
+		if c == nil {
+			continue
+		}
+		if c.Feasible {
+			feasible++
+		}
+		out = append(out, *c)
+	}
 	if len(out) == 0 {
+		if failed := evalFailed.Load(); failed > 0 {
+			return nil, fmt.Errorf("dse: all %d buildable designs failed evaluation, last: %w", failed, lastEvalErr)
+		}
 		return nil, fmt.Errorf("dse: no buildable design in the space")
 	}
 	telemetry.Log().Debug("dse sweep done",
-		"candidates", len(out), "feasible", feasible, "infeasible", len(out)-feasible)
+		"candidates", len(out), "feasible", feasible, "infeasible", len(out)-feasible,
+		"evalfailed", evalFailed.Load(), "workers", pool.Resolve(opt.Workers))
 	return out, nil
 }
 
@@ -217,6 +298,13 @@ func Best(cands []Candidate, obj Objective) *Candidate {
 	return best
 }
 
+// zeroOptimumEps is the absolute tolerance window (scaled by the caller's
+// fractional tolerance) used by BestWithSecondary when the primary optimum
+// is zero or near-zero and a multiplicative window would have zero width.
+// 1e-9 is far below any physically meaningful metric value here (areas in
+// mm², energies in joules, latencies in seconds, error rates in [0,1]).
+const zeroOptimumEps = 1e-9
+
 // BestWithSecondary implements the paper's secondary-target rule
 // (Section VII.C.1: "the user can set a secondary optimization target for
 // accuracy optimization" — digital-module choices that do not move the
@@ -231,7 +319,15 @@ func BestWithSecondary(cands []Candidate, primary, secondary Objective, toleranc
 	if tolerance < 0 {
 		tolerance = 0
 	}
-	limit := primary.metric(first) * (1 + tolerance)
+	m0 := primary.metric(first)
+	limit := m0 * (1 + tolerance)
+	// A multiplicative window collapses to zero width when the optimum is
+	// zero (e.g. a 0% error rate under MaxAccuracy) or so small that the
+	// product underflows back to m0. Fall back to an additive epsilon scaled
+	// by the tolerance so near-optimal candidates still qualify.
+	if tolerance > 0 && limit-m0 <= 0 {
+		limit = m0 + tolerance*zeroOptimumEps
+	}
 	var best *Candidate
 	for i := range cands {
 		c := &cands[i]

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func smallSpace() Space {
 
 func explore(t *testing.T) []Candidate {
 	t.Helper()
-	cands, err := Explore(baseDesign(), largeLayer, smallSpace(), Options{ErrorLimit: 0.25})
+	cands, err := Explore(context.Background(), baseDesign(), largeLayer, smallSpace(), Options{ErrorLimit: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +67,12 @@ func TestExploreCoversGrid(t *testing.T) {
 }
 
 func TestExploreErrors(t *testing.T) {
-	if _, err := Explore(baseDesign(), largeLayer, Space{}, Options{}); err == nil {
+	if _, err := Explore(context.Background(), baseDesign(), largeLayer, Space{}, Options{}); err == nil {
 		t.Error("empty space accepted")
 	}
 	s := smallSpace()
 	s.WireNodes = []int{77}
-	if _, err := Explore(baseDesign(), largeLayer, s, Options{}); err == nil {
+	if _, err := Explore(context.Background(), baseDesign(), largeLayer, s, Options{}); err == nil {
 		t.Error("unknown wire node accepted")
 	}
 	// A space where nothing can be built: crossbars too small for the
@@ -80,7 +81,7 @@ func TestExploreErrors(t *testing.T) {
 	d.WeightBits = 16
 	d.TwoCrossbarSigned = false
 	bad := Space{CrossbarSizes: []int{4}, Parallelisms: []int{1}, WireNodes: []int{45}}
-	if _, err := Explore(d, largeLayer, bad, Options{}); err == nil {
+	if _, err := Explore(context.Background(), d, largeLayer, bad, Options{}); err == nil {
 		t.Error("unbuildable space accepted")
 	}
 }

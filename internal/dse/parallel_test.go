@@ -1,0 +1,125 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mnsim/internal/arch"
+)
+
+// stripEvalTime zeroes the wall-clock field so candidate lists can be
+// compared across runs; EvalTime is the only nondeterministic field.
+func stripEvalTime(cands []Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	copy(out, cands)
+	for i := range out {
+		out[i].EvalTime = 0
+	}
+	return out
+}
+
+func TestExploreParallelDeterminism(t *testing.T) {
+	base := baseDesign()
+	want, err := Explore(context.Background(), base, largeLayer, smallSpace(), Options{ErrorLimit: 0.25, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := stripEvalTime(want)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := Explore(context.Background(), base, largeLayer, smallSpace(), Options{ErrorLimit: 0.25, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(stripEvalTime(got), ref) {
+			t.Errorf("workers=%d: candidate list differs from sequential run", workers)
+		}
+	}
+}
+
+func TestExploreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Explore(ctx, baseDesign(), largeLayer, smallSpace(), Options{ErrorLimit: 0.25, Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestExploreToleratesEvalFailure verifies the sweep survives individual
+// evaluation failures: the failing points are dropped (and counted), the
+// rest of the grid is still returned.
+func TestExploreToleratesEvalFailure(t *testing.T) {
+	orig := evalCandidate
+	defer func() { evalCandidate = orig }()
+	evalCandidate = func(ctx context.Context, d *arch.Design, layers []arch.LayerDims, iface [2]int) (arch.Report, error) {
+		if d.CrossbarSize == 64 {
+			return arch.Report{}, fmt.Errorf("injected failure")
+		}
+		return orig(ctx, d, layers, iface)
+	}
+	cands, err := Explore(context.Background(), baseDesign(), largeLayer, smallSpace(), Options{ErrorLimit: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("sweep returned no candidates")
+	}
+	for _, c := range cands {
+		if c.CrossbarSize == 64 {
+			t.Fatalf("failing grid point (size 64) survived: %+v", c)
+		}
+	}
+}
+
+func TestExploreAllEvalFailed(t *testing.T) {
+	orig := evalCandidate
+	defer func() { evalCandidate = orig }()
+	evalCandidate = func(ctx context.Context, d *arch.Design, layers []arch.LayerDims, iface [2]int) (arch.Report, error) {
+		return arch.Report{}, fmt.Errorf("injected failure")
+	}
+	_, err := Explore(context.Background(), baseDesign(), largeLayer, smallSpace(), Options{ErrorLimit: 0.25})
+	if err == nil {
+		t.Fatal("want error when every buildable design fails evaluation")
+	}
+}
+
+// TestBestWithSecondaryZeroOptimum regresses the zero-width tolerance
+// window: when the primary optimum is exactly 0, metric*(1+tolerance)
+// collapses to 0 and no near-tie could ever qualify for the secondary pass.
+func TestBestWithSecondaryZeroOptimum(t *testing.T) {
+	cands := []Candidate{
+		{CrossbarSize: 8, Feasible: true,
+			Report: arch.Report{AreaMM2: 0, EnergyPerSample: 5}},
+		{CrossbarSize: 16, Feasible: true,
+			Report: arch.Report{AreaMM2: 1e-12, EnergyPerSample: 1}},
+		{CrossbarSize: 32, Feasible: true,
+			Report: arch.Report{AreaMM2: 3, EnergyPerSample: 0.1}},
+	}
+	best := BestWithSecondary(cands, MinArea, MinEnergy, 0.2)
+	if best == nil {
+		t.Fatal("no candidate selected")
+	}
+	// The 1e-12-area candidate is within the epsilon window of the zero
+	// optimum and has the better secondary metric, so it must win.
+	if best.CrossbarSize != 16 {
+		t.Fatalf("want the near-tied low-energy candidate (size 16), got size %d", best.CrossbarSize)
+	}
+}
+
+func BenchmarkExplore(b *testing.B) {
+	base := baseDesign()
+	space := DefaultSpace()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Explore(context.Background(), base, largeLayer, space, Options{ErrorLimit: 0.25, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// sweep engines (design-space exploration, Monte-Carlo sampling, model
+// validation). Tasks are index-addressed: the caller writes result i into
+// slot i of a preallocated slice, so parallel execution preserves the
+// exact sequential output order regardless of completion order.
+package pool
+
+import (
+	"context"
+	"flag"
+	"runtime"
+	"sync"
+)
+
+// Resolve normalizes a worker-count setting: values <= 0 select
+// runtime.GOMAXPROCS(0), the scheduler's available parallelism.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// AddFlag registers the shared -workers flag on fs and returns the value
+// pointer, mirroring how telemetry.AddFlags wires the observability flags.
+func AddFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0,
+		"worker goroutines for parallel sweeps (0 = GOMAXPROCS)")
+}
+
+// Run evaluates n index-addressed tasks on at most workers goroutines
+// (normalized through Resolve). Task i receives a context that is
+// cancelled as soon as any task returns an error or the caller's ctx is
+// cancelled; remaining queued tasks are then skipped. Run returns the
+// first error observed — a task error takes precedence, otherwise the
+// context's. With workers == 1 tasks run strictly in index order on the
+// calling goroutine's single worker, giving exact sequential semantics.
+func Run(ctx context.Context, n, workers int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indices := make(chan int)
+	go func() {
+		defer close(indices)
+		for i := 0; i < n; i++ {
+			select {
+			case indices <- i:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if cctx.Err() != nil {
+					return
+				}
+				if err := task(cctx, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,113 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		n := 100
+		hits := make([]int32, n)
+		err := Run(context.Background(), n, workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunSingleWorkerIsOrdered(t *testing.T) {
+	var order []int
+	err := Run(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestRunStopsOnTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := Run(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return fmt.Errorf("task %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Fatal("error did not stop the pool early")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := Run(ctx, 100, 4, func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunTaskSeesCancellation(t *testing.T) {
+	sentinel := errors.New("observed cancel")
+	err := Run(context.Background(), 10, 1, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return sentinel // cancels the pool context for the rest
+		}
+		if ctx.Err() == nil {
+			t.Errorf("task %d: pool context not cancelled after error", i)
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("task ran for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+}

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -22,7 +23,7 @@ var jpegWidths = []int{64, 16, 64}
 // prediction of the average relative accuracy versus a full circuit-level
 // inference of the JPEG network, with the same signed-weight mapping
 // (positive and negative crossbars subtracted).
-func jpegAccuracy(rng *rand.Rand) (model, measured float64, err error) {
+func jpegAccuracy(ctx context.Context, rng *rand.Rand) (model, measured float64, err error) {
 	dev := device.RRAM()
 	wire := tech.MustInterconnect(45)
 	net, err := nn.RandomFCNet("jpeg", rng, jpegWidths...)
@@ -35,11 +36,11 @@ func jpegAccuracy(rng *rand.Rand) (model, measured float64, err error) {
 	}
 
 	const dataBits = 8
-	ideal, err := forwardThroughCrossbars(net, input, dev, wire, dataBits, true)
+	ideal, err := forwardThroughCrossbars(ctx, net, input, dev, wire, dataBits, true)
 	if err != nil {
 		return 0, 0, err
 	}
-	actual, err := forwardThroughCrossbars(net, input, dev, wire, dataBits, false)
+	actual, err := forwardThroughCrossbars(ctx, net, input, dev, wire, dataBits, false)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -70,7 +71,7 @@ func jpegAccuracy(rng *rand.Rand) (model, measured float64, err error) {
 // (Section III.C.1 method 1). ideal selects the interconnect-free linear
 // reference (the fixed-point ideal of the accuracy model); otherwise the
 // full non-linear circuit with wire resistance is solved.
-func forwardThroughCrossbars(net *nn.FCNet, input []float64, dev device.Model, wire tech.WireTech, dataBits int, ideal bool) ([]float64, error) {
+func forwardThroughCrossbars(ctx context.Context, net *nn.FCNet, input []float64, dev device.Model, wire tech.WireTech, dataBits int, ideal bool) ([]float64, error) {
 	cur := append([]float64(nil), input...)
 	for li, w := range net.Weights {
 		rows, cols := len(w), len(w[0])
@@ -104,11 +105,11 @@ func forwardThroughCrossbars(net *nn.FCNet, input []float64, dev device.Model, w
 		for i, x := range cur {
 			vin[i] = math.Max(0, math.Min(1, x)) * p.VDrive
 		}
-		outPos, err := solveCrossbar(p, rPos, vin, dev, wire, ideal)
+		outPos, err := solveCrossbar(ctx, p, rPos, vin, dev, wire, ideal)
 		if err != nil {
 			return nil, err
 		}
-		outNeg, err := solveCrossbar(p, rNeg, vin, dev, wire, ideal)
+		outNeg, err := solveCrossbar(ctx, p, rNeg, vin, dev, wire, ideal)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +129,7 @@ func forwardThroughCrossbars(net *nn.FCNet, input []float64, dev device.Model, w
 	return cur, nil
 }
 
-func solveCrossbar(p crossbar.Params, r [][]float64, vin []float64, dev device.Model, wire tech.WireTech, ideal bool) ([]float64, error) {
+func solveCrossbar(ctx context.Context, p crossbar.Params, r [][]float64, vin []float64, dev device.Model, wire tech.WireTech, ideal bool) ([]float64, error) {
 	c := &circuit.Crossbar{
 		M: p.Rows, N: p.Cols, R: r,
 		WireR: wire.SegmentR, RSense: p.RSense, Dev: dev,
@@ -138,7 +139,7 @@ func solveCrossbar(p crossbar.Params, r [][]float64, vin []float64, dev device.M
 		c.Linear = true
 		return c.IdealOut(vin)
 	}
-	res, err := c.Solve(vin, circuit.SolveOptions{})
+	res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{})
 	if err != nil {
 		return nil, err
 	}

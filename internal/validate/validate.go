@@ -6,6 +6,7 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"mnsim/internal/circuit"
 	"mnsim/internal/crossbar"
 	"mnsim/internal/device"
+	"mnsim/internal/pool"
 	"mnsim/internal/tech"
 )
 
@@ -66,7 +68,15 @@ type TableIIOptions struct {
 // fully-connected NN (two Size×Size layers): computation power, read power,
 // computation energy, latency, and average relative accuracy, each as
 // MNSIM's behaviour-level estimate versus the circuit-level measurement.
+// It is TableIIContext with a background context.
 func TableII(opt TableIIOptions) ([]Row, error) {
+	return TableIIContext(context.Background(), opt)
+}
+
+// TableIIContext is TableII with a caller-supplied context: every
+// circuit-level solve checks it, so a cancelled context aborts the
+// validation mid-Newton-loop.
+func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 	if opt.WeightSamples <= 0 {
 		opt.WeightSamples = 20
 	}
@@ -97,7 +107,7 @@ func TableII(opt TableIIOptions) ([]Row, error) {
 			for i := range vin {
 				vin[i] = p.VDrive * rng.Float64()
 			}
-			res, err := c.Solve(vin, circuit.SolveOptions{})
+			res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{})
 			if err != nil {
 				return nil, fmt.Errorf("validate: compute-power solve: %w", err)
 			}
@@ -108,7 +118,7 @@ func TableII(opt TableIIOptions) ([]Row, error) {
 				vin[i] = 0
 			}
 			vin[rng.Intn(opt.Size)] = p.AvgDriveRMS()
-			res, err = c.Solve(vin, circuit.SolveOptions{})
+			res, err = c.SolveContext(ctx, vin, circuit.SolveOptions{})
 			if err != nil {
 				return nil, fmt.Errorf("validate: read-power solve: %w", err)
 			}
@@ -143,7 +153,7 @@ func TableII(opt TableIIOptions) ([]Row, error) {
 	// --- Average relative accuracy: behaviour-level prediction vs the
 	// circuit-solved JPEG-encoding network (Section VII.A validates the
 	// accuracy model on a 3-layer 64×16×64 NN).
-	modelAcc, circuitAcc, err := jpegAccuracy(rng)
+	modelAcc, circuitAcc, err := jpegAccuracy(ctx, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +179,15 @@ type SpeedRow struct {
 }
 
 // TableIII runs the speed comparison for the given sizes (paper: 16–256).
+// It is TableIIIContext with a background context.
 func TableIII(sizes []int, seed int64) ([]SpeedRow, error) {
+	return TableIIIContext(context.Background(), sizes, seed)
+}
+
+// TableIIIContext is TableIII with a caller-supplied context. The timing
+// loop stays strictly sequential — it measures per-solve wall time, which
+// sharing cores would distort.
+func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, error) {
 	rng := rand.New(rand.NewSource(seed + 2))
 	dev := device.RRAM()
 	wire := tech.MustInterconnect(45)
@@ -183,7 +201,7 @@ func TableIII(sizes []int, seed int64) ([]SpeedRow, error) {
 			vin[i] = p.VDrive * rng.Float64()
 		}
 		start := time.Now()
-		res, err := c.Solve(vin, circuit.SolveOptions{})
+		res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("validate: size %d: %w", size, err)
 		}
@@ -220,44 +238,66 @@ type Fig5Point struct {
 }
 
 // Fig5 sweeps crossbar size × interconnect node, returning the model curve
-// and the circuit-level scatter of the worst-case output error rate.
+// and the circuit-level scatter of the worst-case output error rate. It is
+// Fig5Context with a background context and the default worker count.
 func Fig5(sizes, nodes []int) ([]Fig5Point, error) {
+	return Fig5Context(context.Background(), sizes, nodes, 0)
+}
+
+// Fig5Context runs the Fig. 5 sweep on a bounded worker pool: every
+// (node, size) grid point is an independent deterministic solve, and the
+// index-addressed result slice preserves the sequential output order for
+// any worker count. Cancelling ctx aborts the in-flight solves.
+func Fig5Context(ctx context.Context, sizes, nodes []int, workers int) ([]Fig5Point, error) {
 	dev := device.RRAM()
-	var out []Fig5Point
+	type gridPoint struct {
+		size, node int
+		wire       tech.WireTech
+	}
+	points := make([]gridPoint, 0, len(nodes)*len(sizes))
 	for _, node := range nodes {
 		wire, err := tech.Interconnect(node)
 		if err != nil {
 			return nil, err
 		}
 		for _, size := range sizes {
-			p := crossbar.New(size, size, dev, wire)
-			model, err := accuracy.WorstCaseColumn(p)
-			if err != nil {
-				return nil, err
-			}
-			r := make([][]float64, size)
-			for i := range r {
-				r[i] = make([]float64, size)
-				for j := range r[i] {
-					r[i][j] = dev.RMin
-				}
-			}
-			c := &circuit.Crossbar{M: size, N: size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
-			vin := make([]float64, size)
-			for i := range vin {
-				vin[i] = p.VDrive
-			}
-			res, err := c.Solve(vin, circuit.SolveOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("validate: fig5 size %d node %d: %w", size, node, err)
-			}
-			ideal, err := c.IdealOut(vin)
-			if err != nil {
-				return nil, err
-			}
-			measured := (ideal[size-1] - res.VOut[size-1]) / ideal[size-1]
-			out = append(out, Fig5Point{Size: size, WireNode: node, Model: model, Circuit: measured})
+			points = append(points, gridPoint{size: size, node: node, wire: wire})
 		}
+	}
+	out := make([]Fig5Point, len(points))
+	err := pool.Run(ctx, len(points), workers, func(tctx context.Context, i int) error {
+		size, node, wire := points[i].size, points[i].node, points[i].wire
+		p := crossbar.New(size, size, dev, wire)
+		model, err := accuracy.WorstCaseColumn(p)
+		if err != nil {
+			return err
+		}
+		r := make([][]float64, size)
+		for i := range r {
+			r[i] = make([]float64, size)
+			for j := range r[i] {
+				r[i][j] = dev.RMin
+			}
+		}
+		c := &circuit.Crossbar{M: size, N: size, R: r, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
+		vin := make([]float64, size)
+		for i := range vin {
+			vin[i] = p.VDrive
+		}
+		res, err := c.SolveContext(tctx, vin, circuit.SolveOptions{})
+		if err != nil {
+			return fmt.Errorf("validate: fig5 size %d node %d: %w", size, node, err)
+		}
+		ideal, err := c.IdealOut(vin)
+		if err != nil {
+			return err
+		}
+		measured := (ideal[size-1] - res.VOut[size-1]) / ideal[size-1]
+		out[i] = Fig5Point{Size: size, WireNode: node, Model: model, Circuit: measured}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

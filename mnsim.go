@@ -19,6 +19,7 @@
 package mnsim
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -109,9 +110,17 @@ func Simulate(cfg Config) (Report, error) {
 	return a.Evaluate()
 }
 
-// Explore traverses a design space and evaluates every grid point.
+// Explore traverses a design space, evaluating grid points on a bounded
+// worker pool (ExploreOptions.Workers; sequential output order is
+// preserved for any worker count).
 func Explore(base Design, layers []LayerDims, space Space, opt ExploreOptions) ([]Candidate, error) {
-	return dse.Explore(base, layers, space, opt)
+	return dse.Explore(context.Background(), base, layers, space, opt)
+}
+
+// ExploreContext is Explore with a caller-supplied context: cancelling it
+// aborts the sweep, including any circuit-level solve mid-Newton-loop.
+func ExploreContext(ctx context.Context, base Design, layers []LayerDims, space Space, opt ExploreOptions) ([]Candidate, error) {
+	return dse.Explore(ctx, base, layers, space, opt)
 }
 
 // DefaultSpace is the paper's large-bank exploration grid.
