@@ -39,17 +39,23 @@ func main() {
 	workers := pool.AddFlag(flag.CommandLine)
 	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if err := tel.Start(); err != nil {
+	tel.Run.SetTool("mnsim-dse")
+	tel.Run.SetWorkers(pool.Resolve(*workers))
+	tel.Run.SetConfigHash(telemetry.HashStrings(
+		"case="+*caseName, fmt.Sprintf("errlimit=%g", *errLimit)))
+	// Ctrl-C cancels the sweep mid-candidate instead of killing the
+	// process, so the telemetry dumps below still happen; the same context
+	// drives the observability server's graceful shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := tel.StartContext(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim-dse:", err)
 		os.Exit(1)
 	}
-	// Ctrl-C cancels the sweep mid-candidate instead of killing the
-	// process, so the telemetry dumps below still happen.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	err := run(ctx, os.Stdout, *caseName, *errLimit, *csvOut, *workers)
 	// The telemetry dumps are written even when the run fails: a failed
 	// sweep's metrics are exactly what the user wants to inspect.
+	tel.Run.SetError(err)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}

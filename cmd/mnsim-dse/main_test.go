@@ -2,10 +2,14 @@ package main
 
 import (
 	"context"
+	"flag"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mnsim/internal/telemetry"
 )
 
 func TestRunLargeBank(t *testing.T) {
@@ -79,5 +83,69 @@ func TestRunCSVOut(t *testing.T) {
 	// An unwritable path fails.
 	if err := run(context.Background(), &sb, "largebank", 0.25, filepath.Join(dir, "no", "dir", "x.csv"), 0); err == nil {
 		t.Error("unwritable CSV path accepted")
+	}
+}
+
+// TestRunWithObservability drives the full -serve / -run-out wiring the
+// way main does: live /healthz while the sweep context is active, then a
+// schema-valid run manifest on Finish carrying the sweep's phases and
+// counters.
+func TestRunWithObservability(t *testing.T) {
+	dir := t.TempDir()
+	runPath := filepath.Join(dir, "run.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tel := telemetry.AddFlags(fs)
+	if err := fs.Parse([]string{"-serve", "localhost:0", "-run-out", runPath}); err != nil {
+		t.Fatal(err)
+	}
+	tel.Run.SetTool("mnsim-dse")
+	tel.Run.SetWorkers(2)
+	tel.Run.SetConfigHash(telemetry.HashStrings("case=largebank", "errlimit=0.25"))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := tel.StartContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + tel.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+
+	var sb strings.Builder
+	runErr := run(ctx, &sb, "largebank", 0.25, "", 2)
+	tel.Run.SetError(runErr)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err := tel.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := telemetry.LoadManifest(runPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "mnsim-dse" || m.Workers != 2 || m.ExitStatus != 0 {
+		t.Fatalf("manifest identity = %+v", m)
+	}
+	foundExplore := false
+	for _, p := range m.Phases {
+		if p.Name == "dse.explore" && p.Count >= 1 {
+			foundExplore = true
+		}
+	}
+	if !foundExplore {
+		t.Fatalf("manifest phases missing dse.explore: %+v", m.Phases)
+	}
+	if m.Metrics.Counters["mnsim_dse_candidates_total"] == 0 {
+		t.Fatalf("manifest metrics missing candidate counter: %+v", m.Metrics.Counters)
 	}
 }

@@ -33,13 +33,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for the weight population")
 	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if err := tel.Start(); err != nil {
+	tel.Run.SetTool("mnsim-netlist")
+	tel.Run.SetSeed(*seed)
+	tel.Run.SetConfigHash(telemetry.HashStrings(
+		fmt.Sprintf("size=%d", *size), fmt.Sprintf("node=%d", *node),
+		"device="+*model, fmt.Sprintf("linear=%t", *linear)))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := tel.StartContext(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "mnsim-netlist:", err)
 		os.Exit(1)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	err := run(ctx, os.Stdout, *size, *node, *model, *linear, *out, *seed)
+	tel.Run.SetError(err)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}
@@ -63,11 +69,14 @@ func run(ctx context.Context, defaultOut io.Writer, size, node int, model string
 	}
 	p := crossbar.New(size, size, dev, wire)
 	rng := rand.New(rand.NewSource(seed))
+	prog := telemetry.StartPhase("netlist.rows", int64(size))
+	defer prog.Finish()
 	r := make([][]float64, size)
 	for i := range r {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("netlist generation aborted: %w", err)
 		}
+		prog.Inc()
 		r[i] = make([]float64, size)
 		for j := range r[i] {
 			res, err := dev.LevelResistance(rng.Intn(dev.Levels()))

@@ -36,15 +36,22 @@ func main() {
 	if !*t2 && !*t3 && !*f5 {
 		*t2, *t3, *f5 = true, true, true
 	}
-	if err := tel.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "mnsim-validate:", err)
-		os.Exit(1)
-	}
+	tel.Run.SetTool("mnsim-validate")
+	tel.Run.SetSeed(*seed)
+	tel.Run.SetWorkers(pool.Resolve(*workers))
+	tel.Run.SetConfigHash(telemetry.HashStrings(
+		fmt.Sprintf("table2=%t", *t2), fmt.Sprintf("table3=%t", *t3),
+		fmt.Sprintf("fig5=%t", *f5), fmt.Sprintf("maxsize=%d", *maxSize)))
 	// Ctrl-C cancels the in-flight circuit solves (mid-Newton-loop) instead
 	// of killing the process, so the telemetry dumps below still happen.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if err := tel.StartContext(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim-validate:", err)
+		os.Exit(1)
+	}
 	err := run(ctx, os.Stdout, *t2, *t3, *f5, *maxSize, *seed, *workers)
+	tel.Run.SetError(err)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}

@@ -40,13 +40,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := tel.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "mnsim:", err)
-		os.Exit(1)
+	tel.Run.SetTool("mnsim")
+	tel.Run.SetWorkers(pool.Resolve(*workers))
+	// Fingerprint the configuration file so run manifests from the same
+	// design can be matched up; a read error surfaces in run() below.
+	if b, err := os.ReadFile(*cfgPath); err == nil {
+		tel.Run.SetConfigHash(telemetry.HashBytes(b))
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if err := tel.StartContext(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim:", err)
+		os.Exit(1)
+	}
 	err := run(ctx, os.Stdout, *cfgPath, *csv, *dump, *optimize, *errLimit, *workers)
+	tel.Run.SetError(err)
 	if ferr := tel.Finish(); err == nil {
 		err = ferr
 	}

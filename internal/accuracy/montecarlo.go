@@ -162,6 +162,9 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 		}
 		telMCTrials.Add(int64(opt.Trials))
 	}()
+	// Live trial progress for /progress and the -progress stderr line.
+	prog := telemetry.StartPhase("mc.trials", int64(opt.Trials))
+	defer prog.Finish()
 	gs := 1 / p.RSense
 	wire := WireTerm(p.Rows, p.Cols, p.Wire.SegmentR)
 	// samples[t] is trial t's |error|, NaN for a degenerate trial; the
@@ -183,6 +186,7 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 				v = math.NaN()
 			}
 			samples[t] = v
+			prog.Inc()
 		}
 	} else {
 		seed := opt.Seed
@@ -211,6 +215,7 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 					v = math.NaN()
 				}
 				samples[t] = v
+				prog.Inc()
 			}
 			return nil
 		})

@@ -196,6 +196,10 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 	}
 	ctx, sweep := telemetry.StartSpan(ctx, "dse.explore")
 	defer sweep.End()
+	// Live sweep progress: one tick per grid point, whatever its outcome,
+	// so /progress and the -progress line show done/total and an ETA.
+	prog := telemetry.StartPhase("dse.candidates", int64(len(points)))
+	defer prog.Finish()
 	// Index-addressed result slots keep the output in sequential sweep
 	// order no matter which worker finishes first.
 	results := make([]*Candidate, len(points))
@@ -208,6 +212,7 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 		if err := tctx.Err(); err != nil {
 			return err
 		}
+		defer prog.Inc()
 		gp := points[i]
 		d := base
 		d.CrossbarSize = gp.size

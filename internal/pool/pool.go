@@ -10,7 +10,23 @@ import (
 	"flag"
 	"runtime"
 	"sync"
+
+	"mnsim/internal/telemetry"
 )
+
+// Pool telemetry: how many workers are inside a task right now and how
+// many queued indices have not been handed to a worker yet. Both gauges
+// sum across concurrently running pools, so /metrics shows the live
+// saturation of the whole process during a sweep.
+var (
+	telInflight = telemetry.GetGauge("mnsim_pool_workers_inflight")
+	telQueue    = telemetry.GetGauge("mnsim_pool_queue_depth")
+)
+
+func init() {
+	telemetry.Describe("mnsim_pool_workers_inflight", "Worker goroutines currently executing a task.")
+	telemetry.Describe("mnsim_pool_queue_depth", "Task indices queued but not yet dispatched to a worker.")
+}
 
 // Resolve normalizes a worker-count setting: values <= 0 select
 // runtime.GOMAXPROCS(0), the scheduler's available parallelism.
@@ -47,11 +63,20 @@ func Run(ctx context.Context, n, workers int, task func(ctx context.Context, i i
 	defer cancel()
 
 	indices := make(chan int)
+	feederDone := make(chan struct{})
+	telQueue.Add(float64(n))
 	go func() {
+		defer close(feederDone)
 		defer close(indices)
+		fed := 0
+		// On early exit (cancellation) drop the undispatched remainder
+		// from the gauge in one step.
+		defer func() { telQueue.Add(-float64(n - fed)) }()
 		for i := 0; i < n; i++ {
 			select {
 			case indices <- i:
+				fed++
+				telQueue.Add(-1)
 			case <-cctx.Done():
 				return
 			}
@@ -71,7 +96,10 @@ func Run(ctx context.Context, n, workers int, task func(ctx context.Context, i i
 				if cctx.Err() != nil {
 					return
 				}
-				if err := task(cctx, i); err != nil {
+				telInflight.Add(1)
+				err := task(cctx, i)
+				telInflight.Add(-1)
+				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -84,6 +112,11 @@ func Run(ctx context.Context, n, workers int, task func(ctx context.Context, i i
 		}()
 	}
 	wg.Wait()
+	// Wake the feeder (it may be blocked on a send with no receivers left)
+	// and wait for it, so the queue-depth gauge is settled before Run
+	// returns.
+	cancel()
+	<-feederDone
 	if firstErr != nil {
 		return firstErr
 	}

@@ -1,11 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"os"
+	"strings"
 	"time"
 )
 
@@ -14,40 +17,83 @@ import (
 //	-metrics-out file   write the metrics registry on exit
 //	                    (Prometheus text; JSON when the path ends in .json)
 //	-trace-out file     write the aggregated span trace as JSON on exit
-//	-pprof addr         serve net/http/pprof (e.g. localhost:6060)
+//	-run-out file       write the run manifest (run.json) on exit
+//	-serve addr         serve the observability endpoints (/metrics,
+//	                    /metrics.json, /trace, /progress, /runinfo,
+//	                    /healthz, /debug/pprof/*)
+//	-serve-hold d       keep the -serve server up for d after the run so
+//	                    a scraper can take a final sample
+//	-pprof addr         deprecated alias of -serve exposing only
+//	                    /debug/pprof/*
+//	-progress           print a rate-limited live progress line to stderr
 //	-log-level level    default-logger verbosity (debug|info|warn|error|off)
 //
-// Wire them with AddFlags before flag.Parse, call Start after parsing, and
-// Finish once the run completes (Finish writes the dump files, so it must
-// run on the error path too — the dumps of a failed sweep are exactly what
-// the user wants to look at).
+// Wire them with AddFlags before flag.Parse, call StartContext after
+// parsing with the CLI's signal context (cancelling it shuts the servers
+// down gracefully), and Finish once the run completes. Finish writes the
+// dump files, so it must run on the error path too — the dumps of a
+// failed sweep are exactly what the user wants to look at; record the
+// run's outcome with Run.SetError first so the manifest carries it.
 type Flags struct {
 	MetricsOut string
 	TraceOut   string
+	RunOut     string
+	ServeAddr  string
+	ServeHold  time.Duration
 	PprofAddr  string
+	Progress   bool
 	LogLevel   string
 
-	srv *http.Server
+	// Run is the manifest-identity record the CLI fills in after parsing
+	// (SetTool, SetSeed, SetWorkers, SetConfigHash, SetError).
+	Run *RunInfo
+
+	// ProgressOut overrides the -progress destination (default os.Stderr);
+	// ProgressInterval overrides the print cadence. Both exist for tests.
+	ProgressOut      io.Writer
+	ProgressInterval time.Duration
+
+	ctx       context.Context
+	servers   []*http.Server
+	serveAddr string
+	pprofAddr string
+	progStop  chan struct{}
+	progDone  chan struct{}
 }
 
 // AddFlags registers the shared observability flags on fs.
 func AddFlags(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{Run: NewRunInfo()}
 	fs.StringVar(&f.MetricsOut, "metrics-out", "",
 		"write metrics to this file on exit (Prometheus text format, or JSON if the path ends in .json)")
 	fs.StringVar(&f.TraceOut, "trace-out", "",
 		"write the aggregated span trace as JSON to this file on exit")
+	fs.StringVar(&f.RunOut, "run-out", "",
+		"write the run manifest (run.json: tool, args, seed, per-phase wall time, final metrics, exit status) to this file on exit")
+	fs.StringVar(&f.ServeAddr, "serve", "",
+		"serve the observability endpoints on this address (e.g. localhost:6060): /metrics, /metrics.json, /trace, /progress, /runinfo, /healthz, /debug/pprof/*")
+	fs.DurationVar(&f.ServeHold, "serve-hold", 0,
+		"keep the -serve server up this long after the run completes, for a final scrape (Ctrl-C ends the hold early)")
 	fs.StringVar(&f.PprofAddr, "pprof", "",
-		"serve net/http/pprof on this address (e.g. localhost:6060)")
+		"deprecated: use -serve (which includes /debug/pprof/*); serves only the pprof handlers on this address")
+	fs.BoolVar(&f.Progress, "progress", false,
+		"print a live, rate-limited progress line (done/total, rate, ETA) to stderr")
 	fs.StringVar(&f.LogLevel, "log-level", "",
 		"structured-log verbosity: debug, info, warn (default), error, off")
 	return f
 }
 
-// Start applies the log level and brings up the pprof server. The listen
-// happens synchronously so a bad -pprof address fails the run immediately
-// instead of dying silently in a goroutine.
-func (f *Flags) Start() error {
+// Start is StartContext with a background context; kept for callers that
+// have no cancellation to propagate.
+func (f *Flags) Start() error { return f.StartContext(context.Background()) }
+
+// StartContext applies the log level, brings up the observability and
+// pprof servers, and starts the -progress printer. Listens happen
+// synchronously so a bad -serve or -pprof address fails the run
+// immediately instead of dying silently in a goroutine. Cancelling ctx
+// (the CLIs pass their SIGINT context) shuts the servers down gracefully.
+func (f *Flags) StartContext(ctx context.Context) error {
+	f.ctx = ctx
 	if f.LogLevel != "" {
 		lv, err := ParseLevel(f.LogLevel)
 		if err != nil {
@@ -55,31 +101,153 @@ func (f *Flags) Start() error {
 		}
 		SetLogLevel(lv)
 	}
-	if f.PprofAddr == "" {
-		return nil
+	if f.Run != nil && len(os.Args) > 1 {
+		f.Run.SetArgs(os.Args[1:])
 	}
-	ln, err := net.Listen("tcp", f.PprofAddr)
-	if err != nil {
-		return fmt.Errorf("telemetry: pprof listen: %w", err)
+	// Port 0 means "pick any free port", so two :0 binds never collide.
+	if f.ServeAddr != "" && f.ServeAddr == f.PprofAddr && !strings.HasSuffix(f.ServeAddr, ":0") {
+		return fmt.Errorf("telemetry: -serve and -pprof both bind %s; drop -pprof (deprecated), -serve already includes /debug/pprof/*", f.ServeAddr)
 	}
-	f.srv = &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		// Serve returns http.ErrServerClosed on Finish; anything else means
-		// profiling died mid-run, which is worth a warning but not a failure.
-		if err := f.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			Log().Warn("pprof server stopped", "err", err)
+	if f.ServeAddr != "" {
+		addr, err := f.listenAndServe(ctx, f.ServeAddr, NewServeMux(f.Run))
+		if err != nil {
+			return fmt.Errorf("telemetry: observability listen: %w", err)
 		}
-	}()
-	Log().Info("pprof serving", "addr", ln.Addr().String())
+		f.serveAddr = addr
+		Log().Info("observability serving", "addr", addr)
+	}
+	if f.PprofAddr != "" {
+		addr, err := f.listenAndServe(ctx, f.PprofAddr, NewPprofMux())
+		if err != nil {
+			return fmt.Errorf("telemetry: pprof listen: %w", err)
+		}
+		f.pprofAddr = addr
+		Log().Info("pprof serving (deprecated -pprof; prefer -serve)", "addr", addr)
+	}
+	if f.Progress {
+		f.startProgressPrinter(ctx)
+	}
 	return nil
 }
 
-// Finish writes the requested dump files and stops the pprof server,
-// returning the first error encountered.
+// listenAndServe binds addr, serves mux in the background, and shuts the
+// server down gracefully when ctx is cancelled. Returns the resolved
+// listen address (useful with ":0").
+func (f *Flags) listenAndServe(ctx context.Context, addr string, mux *http.ServeMux) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	f.servers = append(f.servers, srv)
+	go func() {
+		// Serve returns http.ErrServerClosed on shutdown; anything else
+		// means the server died mid-run, which is worth a warning but not
+		// a failure.
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Log().Warn("observability server stopped", "addr", ln.Addr(), "err", err)
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the resolved -serve listen address ("" when not serving);
+// with "-serve localhost:0" this is where the kernel put the server.
+func (f *Flags) Addr() string { return f.serveAddr }
+
+// PprofListenAddr returns the resolved -pprof listen address ("" when not
+// serving).
+func (f *Flags) PprofListenAddr() string { return f.pprofAddr }
+
+// isTerminal reports whether w is an interactive terminal (a character
+// device), which selects the carriage-return rewriting progress style.
+func isTerminal(w io.Writer) bool {
+	file, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := file.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// startProgressPrinter launches the -progress goroutine: on a TTY it
+// rewrites one status line in place a few times a second; on a pipe it
+// prints a plain line every couple of seconds (and only when the line
+// changed), so redirected stderr stays readable.
+func (f *Flags) startProgressPrinter(ctx context.Context) {
+	w := f.ProgressOut
+	if w == nil {
+		w = os.Stderr
+	}
+	tty := isTerminal(w)
+	interval := f.ProgressInterval
+	if interval <= 0 {
+		if tty {
+			interval = 200 * time.Millisecond
+		} else {
+			interval = 2 * time.Second
+		}
+	}
+	f.progStop = make(chan struct{})
+	f.progDone = make(chan struct{})
+	go func() {
+		defer close(f.progDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		last := ""
+		printed := false
+		emit := func() {
+			line := FormatStatusLine(defaultProgress.Statuses())
+			if line == "" || line == last {
+				return
+			}
+			if tty {
+				// \r returns to column 0, ESC[K clears the stale tail.
+				fmt.Fprintf(w, "\r\x1b[K%s", line)
+				printed = true
+			} else {
+				fmt.Fprintln(w, line)
+			}
+			last = line
+		}
+		for {
+			select {
+			case <-f.progStop:
+				if tty && printed {
+					fmt.Fprintln(w) // leave the final line visible
+				}
+				return
+			case <-ctx.Done():
+				if tty && printed {
+					fmt.Fprintln(w)
+				}
+				return
+			case <-tick.C:
+				emit()
+			}
+		}
+	}()
+}
+
+// Finish stops the progress printer, writes the requested dump files
+// (metrics, trace, then the run manifest, which snapshots the final
+// metrics), honours -serve-hold, and stops the servers. A failed dump
+// does not stop the later ones; the first error encountered is returned.
 func (f *Flags) Finish() error {
+	if f.progStop != nil {
+		close(f.progStop)
+		<-f.progDone
+		f.progStop, f.progDone = nil, nil
+	}
 	var first error
 	if f.MetricsOut != "" {
-		if err := WriteMetricsFile(f.MetricsOut); err != nil {
+		if err := WriteMetricsFile(f.MetricsOut); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -88,11 +256,35 @@ func (f *Flags) Finish() error {
 			first = err
 		}
 	}
-	if f.srv != nil {
-		if err := f.srv.Close(); err != nil && first == nil {
+	if f.RunOut != "" {
+		run := f.Run
+		if run == nil {
+			run = NewRunInfo()
+		}
+		if err := WriteManifestFile(f.RunOut, run); err != nil && first == nil {
 			first = err
 		}
-		f.srv = nil
 	}
+	if f.ServeHold > 0 && f.serveAddr != "" && (f.ctx == nil || f.ctx.Err() == nil) {
+		Log().Info("holding observability server for final scrape",
+			"addr", f.serveAddr, "hold", f.ServeHold)
+		timer := time.NewTimer(f.ServeHold)
+		defer timer.Stop()
+		var done <-chan struct{}
+		if f.ctx != nil {
+			done = f.ctx.Done()
+		}
+		select {
+		case <-timer.C:
+		case <-done:
+		}
+	}
+	for _, srv := range f.servers {
+		if err := srv.Close(); err != nil && err != http.ErrServerClosed && first == nil {
+			first = err
+		}
+	}
+	f.servers = nil
+	f.serveAddr, f.pprofAddr = "", ""
 	return first
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -145,6 +146,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -153,7 +155,19 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
 	}
+}
+
+// Describe attaches HELP text to a metric name; the Prometheus exporter
+// emits it as a "# HELP" line ahead of the family's TYPE and samples.
+func (r *Registry) Describe(name, help string) {
+	if err := validateName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -252,6 +266,25 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// escapeHelp escapes a HELP string per the exposition format: backslash
+// and newline are the only characters that need it.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeFamilyHeader emits the optional "# HELP" line followed by the
+// mandatory "# TYPE" line for one metric family. Callers hold r.mu.
+func (r *Registry) writeFamilyHeader(w io.Writer, name, typ string) error {
+	if help := r.help[name]; help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format (version 0.0.4): counters, gauges, then histograms with
 // cumulative le-labelled buckets and _sum/_count series.
@@ -259,19 +292,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, name := range sortedNames(r.counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value()); err != nil {
+		if err := r.writeFamilyHeader(w, name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedNames(r.gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(r.gauges[name].Value())); err != nil {
+		if err := r.writeFamilyHeader(w, name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(r.gauges[name].Value())); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedNames(r.histograms) {
 		h := r.histograms[name]
 		cum, count, sum := h.snapshot()
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if err := r.writeFamilyHeader(w, name, "histogram"); err != nil {
 			return err
 		}
 		for i, bound := range h.bounds {
@@ -289,33 +328,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// histogramJSON is the JSON shape of one histogram.
-type histogramJSON struct {
-	Count   int64        `json:"count"`
-	Sum     float64      `json:"sum"`
-	Buckets []bucketJSON `json:"buckets"`
+// HistogramSnapshot is the JSON shape of one histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
 }
 
-type bucketJSON struct {
+// HistogramBucket is one cumulative le-labelled bucket.
+type HistogramBucket struct {
 	LE         string `json:"le"`
 	Cumulative int64  `json:"cumulative"`
 }
 
-// metricsJSON is the JSON shape of a full registry export.
-type metricsJSON struct {
-	Counters   map[string]int64         `json:"counters"`
-	Gauges     map[string]float64       `json:"gauges"`
-	Histograms map[string]histogramJSON `json:"histograms"`
+// MetricsSnapshot is a point-in-time export of a full registry — the JSON
+// metrics dump, the /metrics.json payload, and the final-metrics section
+// of a run manifest all share this shape.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// WriteJSON writes every metric as one JSON document (keys sorted by
-// encoding/json's map ordering, so the output is deterministic).
-func (r *Registry) WriteJSON(w io.Writer) error {
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() MetricsSnapshot {
 	r.mu.RLock()
-	out := metricsJSON{
+	defer r.mu.RUnlock()
+	out := MetricsSnapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
-		Histograms: make(map[string]histogramJSON, len(r.histograms)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
 	for name, c := range r.counters {
 		out.Counters[name] = c.Value()
@@ -325,15 +367,20 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	for name, h := range r.histograms {
 		cum, count, sum := h.snapshot()
-		hj := histogramJSON{Count: count, Sum: sum}
+		hj := HistogramSnapshot{Count: count, Sum: sum}
 		for i, bound := range h.bounds {
-			hj.Buckets = append(hj.Buckets, bucketJSON{LE: formatFloat(bound), Cumulative: cum[i]})
+			hj.Buckets = append(hj.Buckets, HistogramBucket{LE: formatFloat(bound), Cumulative: cum[i]})
 		}
-		hj.Buckets = append(hj.Buckets, bucketJSON{LE: "+Inf", Cumulative: cum[len(cum)-1]})
+		hj.Buckets = append(hj.Buckets, HistogramBucket{LE: "+Inf", Cumulative: cum[len(cum)-1]})
 		out.Histograms[name] = hj
 	}
-	r.mu.RUnlock()
+	return out
+}
+
+// WriteJSON writes every metric as one JSON document (keys sorted by
+// encoding/json's map ordering, so the output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r.Snapshot())
 }

@@ -136,7 +136,7 @@ func TestWriteJSONGolden(t *testing.T) {
 	if err := r.WriteJSON(&sb); err != nil {
 		t.Fatal(err)
 	}
-	var got metricsJSON
+	var got MetricsSnapshot
 	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
 		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
 	}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServe parses the given flag args and starts the observability
+// server, failing the test on error and cleaning up on exit.
+func startServe(t *testing.T, ctx context.Context, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StartContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Finish() })
+	return f
+}
+
+func get(t *testing.T, url string) (status int, contentType, body string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := startServe(t, ctx, "-serve", "localhost:0")
+	if f.Addr() == "" {
+		t.Fatal("no resolved -serve address")
+	}
+	base := "http://" + f.Addr()
+
+	GetCounter("mnsim_servetest_total").Inc()
+	_, sp := StartSpan(context.Background(), "servetest.span")
+	sp.End()
+	ph := StartPhase("servetest.phase", 10)
+	ph.Add(4)
+
+	status, ct, body := get(t, base+"/metrics")
+	if status != http.StatusOK || !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics status %d content-type %q", status, ct)
+	}
+	if !strings.Contains(body, "mnsim_servetest_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	status, ct, body = get(t, base+"/metrics.json")
+	if status != http.StatusOK || !strings.Contains(ct, "application/json") {
+		t.Fatalf("/metrics.json status %d content-type %q", status, ct)
+	}
+	if !strings.Contains(body, `"counters"`) {
+		t.Fatalf("/metrics.json malformed:\n%s", body)
+	}
+
+	status, _, body = get(t, base+"/trace")
+	if status != http.StatusOK || !strings.Contains(body, "servetest.span") {
+		t.Fatalf("/trace status %d body:\n%s", status, body)
+	}
+
+	status, _, body = get(t, base+"/progress")
+	if status != http.StatusOK {
+		t.Fatalf("/progress status %d", status)
+	}
+	var prog struct {
+		Phases []PhaseStatus `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("/progress malformed: %v\n%s", err, body)
+	}
+	found := false
+	for _, p := range prog.Phases {
+		if p.Name == "servetest.phase" && p.Done == 4 && p.Total == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/progress missing live phase: %s", body)
+	}
+
+	status, _, body = get(t, base+"/runinfo")
+	if status != http.StatusOK || !strings.Contains(body, `"go_version"`) {
+		t.Fatalf("/runinfo status %d body:\n%s", status, body)
+	}
+
+	status, _, body = get(t, base+"/healthz")
+	if status != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz status %d body %q", status, body)
+	}
+
+	status, _, body = get(t, base+"/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", status)
+	}
+
+	// Cancelling the CLI context shuts the server down gracefully.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still up after context cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPprofAliasServesOnlyPprof(t *testing.T) {
+	f := startServe(t, context.Background(), "-pprof", "localhost:0")
+	addr := f.PprofListenAddr()
+	if addr == "" {
+		t.Fatal("no resolved -pprof address")
+	}
+	status, _, _ := get(t, "http://"+addr+"/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", status)
+	}
+	// The deprecated alias must NOT expose the full observability surface.
+	status, _, _ = get(t, "http://"+addr+"/metrics")
+	if status != http.StatusNotFound {
+		t.Fatalf("/metrics on -pprof server: status %d, want 404", status)
+	}
+}
+
+func TestServePprofOverlapRejected(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-serve", "localhost:7171", "-pprof", "localhost:7171"}); err != nil {
+		t.Fatal(err)
+	}
+	err := f.StartContext(context.Background())
+	if err == nil {
+		f.Finish()
+		t.Fatal("same -serve/-pprof address accepted")
+	}
+	if !strings.Contains(err.Error(), "deprecated") {
+		t.Fatalf("overlap error %q should point at the deprecation", err)
+	}
+}
+
+func TestServeBothServersDistinctAddrs(t *testing.T) {
+	f := startServe(t, context.Background(), "-serve", "localhost:0", "-pprof", "localhost:0")
+	if f.Addr() == "" || f.PprofListenAddr() == "" || f.Addr() == f.PprofListenAddr() {
+		t.Fatalf("addrs serve=%q pprof=%q", f.Addr(), f.PprofListenAddr())
+	}
+	if status, _, _ := get(t, "http://"+f.Addr()+"/healthz"); status != http.StatusOK {
+		t.Fatal("-serve server not healthy")
+	}
+	if status, _, _ := get(t, "http://"+f.PprofListenAddr()+"/debug/pprof/"); status != http.StatusOK {
+		t.Fatal("-pprof server not serving pprof")
+	}
+}

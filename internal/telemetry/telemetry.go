@@ -30,8 +30,12 @@
 package telemetry
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 )
 
 // defaultRegistry and defaultTracer are the process-wide instances that the
@@ -61,36 +65,67 @@ func GetHistogram(name string, bounds []float64) *Histogram {
 	return defaultRegistry.Histogram(name, bounds)
 }
 
-// WriteMetricsFile dumps the default registry to path: Prometheus text
-// format by default, JSON when the path ends in ".json".
-func WriteMetricsFile(path string) (err error) {
-	f, err := os.Create(path)
+// Describe attaches HELP text to a metric name in the default registry.
+func Describe(name, help string) { defaultRegistry.Describe(name, help) }
+
+// writeFileAtomic writes via a temp file in path's directory and renames
+// it into place, so an interrupted run can never leave a truncated dump —
+// either the old file survives or the complete new one does.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
 		}
 	}()
-	if hasJSONSuffix(path) {
-		return defaultRegistry.WriteJSON(f)
+	if err = write(tmp); err != nil {
+		return err
 	}
-	return defaultRegistry.WritePrometheus(f)
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
-// WriteTraceFile dumps the default tracer's span aggregates as JSON.
-func WriteTraceFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
+// WriteMetricsFile dumps the default registry to path: Prometheus text
+// format by default, JSON when the path ends in ".json". The write is
+// atomic (temp file + rename).
+func WriteMetricsFile(path string) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		if hasJSONSuffix(path) {
+			return defaultRegistry.WriteJSON(w)
 		}
-	}()
-	return defaultTracer.WriteJSON(f)
+		return defaultRegistry.WritePrometheus(w)
+	})
+}
+
+// WriteTraceFile dumps the default tracer's span aggregates as JSON. The
+// write is atomic (temp file + rename).
+func WriteTraceFile(path string) error {
+	return writeFileAtomic(path, defaultTracer.WriteJSON)
+}
+
+// HashBytes returns a short hex SHA-256 content hash, the config-hash
+// fingerprint run manifests carry so mnsim-runs diff can tell whether two
+// runs simulated the same design.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// HashStrings fingerprints a sequence of key=value style parts (each part
+// is length-prefixed, so the hash is unambiguous under concatenation).
+func HashStrings(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s;", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
 func hasJSONSuffix(path string) bool {

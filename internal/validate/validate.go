@@ -17,6 +17,7 @@ import (
 	"mnsim/internal/device"
 	"mnsim/internal/pool"
 	"mnsim/internal/tech"
+	"mnsim/internal/telemetry"
 )
 
 // randomResistances draws a uniformly distributed level population.
@@ -91,6 +92,11 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 	wire := tech.MustInterconnect(45)
 	p := crossbar.New(opt.Size, opt.Size, dev, wire)
 
+	// Live progress: one tick per weight-sample solve batch plus the
+	// transient-latency and JPEG-accuracy steps.
+	prog := telemetry.StartPhase("validate.table2", int64(opt.WeightSamples)+2)
+	defer prog.Finish()
+
 	// --- Computation and read power: circuit-level average over random
 	// weight populations and random input drives.
 	var compPower, readPower float64
@@ -125,6 +131,7 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 			readPower += res.Power
 			samples++
 		}
+		prog.Inc()
 	}
 	compPower /= float64(samples)
 	readPower /= float64(samples)
@@ -144,6 +151,7 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 	// cell response is a datasheet constant added on both sides.
 	settle := rcSettle + dev.SwitchLatency
 	modelLatency := p.Latency()
+	prog.Inc()
 
 	// --- Computation energy of the 3-layer ANN (two layers of crossbars):
 	// power × settling window on both sides.
@@ -157,6 +165,7 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog.Inc()
 
 	return []Row{
 		{"Computation Power (W)", 2 * p.ComputePower(), 2 * compPower},
@@ -191,6 +200,8 @@ func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, 
 	rng := rand.New(rand.NewSource(seed + 2))
 	dev := device.RRAM()
 	wire := tech.MustInterconnect(45)
+	prog := telemetry.StartPhase("validate.table3", int64(len(sizes)))
+	defer prog.Finish()
 	var out []SpeedRow
 	for _, size := range sizes {
 		p := crossbar.New(size, size, dev, wire)
@@ -227,6 +238,7 @@ func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, 
 			SpeedUp:      float64(circuitTime) / float64(modelTime),
 			CircuitIters: res.CGIters,
 		})
+		prog.Inc()
 	}
 	return out, nil
 }
@@ -265,7 +277,10 @@ func Fig5Context(ctx context.Context, sizes, nodes []int, workers int) ([]Fig5Po
 		}
 	}
 	out := make([]Fig5Point, len(points))
+	prog := telemetry.StartPhase("validate.fig5", int64(len(points)))
+	defer prog.Finish()
 	err := pool.Run(ctx, len(points), workers, func(tctx context.Context, i int) error {
+		defer prog.Inc()
 		size, node, wire := points[i].size, points[i].node, points[i].wire
 		p := crossbar.New(size, size, dev, wire)
 		model, err := accuracy.WorstCaseColumn(p)
