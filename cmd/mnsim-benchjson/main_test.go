@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mnsim/internal/circuit
+cpu: Test CPU @ 2.00GHz
+BenchmarkSolve/16x16-8         	       1	  1200000 ns/op	        12.00 newton-iters/op	       345.0 cg-iters/op
+BenchmarkSolve/16x16-8         	       1	  1100000 ns/op	        12.00 newton-iters/op	       340.0 cg-iters/op
+BenchmarkSolve/16x16-8         	       1	  1300000 ns/op	        12.00 newton-iters/op	       350.0 cg-iters/op
+BenchmarkSolve/64x64-8         	       1	  9000000 ns/op	        14.00 newton-iters/op	       900.0 cg-iters/op
+PASS
+ok  	mnsim/internal/circuit	0.123s
+pkg: mnsim/internal/dse
+BenchmarkExplore/workers=4-8   	       1	  5000000 ns/op
+PASS
+ok  	mnsim/internal/dse	0.456s
+`
+
+func TestParseAggregatesMedian(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkSolve/16x16" {
+		t.Errorf("name %q: GOMAXPROCS suffix should be stripped", b.Name)
+	}
+	if b.Runs != 3 {
+		t.Errorf("runs = %d, want 3", b.Runs)
+	}
+	if b.NsPerOp != 1.2e6 {
+		t.Errorf("ns/op median = %g, want 1.2e6", b.NsPerOp)
+	}
+	if got := b.Metrics["newton-iters/op"]; got != 12 {
+		t.Errorf("newton-iters/op = %g, want 12", got)
+	}
+	if got := b.Metrics["cg-iters/op"]; got != 345 {
+		t.Errorf("cg-iters/op median = %g, want 345", got)
+	}
+	// Single-run benchmark without custom metrics.
+	e := doc.Benchmarks[2]
+	if e.Name != "BenchmarkExplore/workers=4" || e.Runs != 1 || e.NsPerOp != 5e6 {
+		t.Errorf("explore bench parsed wrong: %+v", e)
+	}
+	if e.Metrics != nil {
+		t.Errorf("explore bench has unexpected metrics: %v", e.Metrics)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  pkg 0.1s\n")); err == nil {
+		t.Error("input without benchmark lines accepted")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(strings.NewReader(sampleOutput), nil, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.GoOS == "" || doc.GoArch == "" || len(doc.Benchmarks) != 3 {
+		t.Fatalf("round-trip lost fields: %+v", doc)
+	}
+}

@@ -8,6 +8,7 @@
 //	mnsim-dse -case largebank [-errlimit 0.25]
 //	mnsim-dse -case vgg16 [-errlimit 0.5]
 //	mnsim-dse -case largebank -metrics-out m.prom -trace-out t.json -pprof localhost:6060
+//	mnsim-dse -case largebank -journal run.jsonl -fail-candidate 64:16:45  # flight recorder + fault injection
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 	caseName := flag.String("case", "largebank", "case study: largebank or vgg16")
 	errLimit := flag.Float64("errlimit", 0, "error-rate constraint (default 0.25 largebank, 0.5 vgg16)")
 	csvOut := flag.String("csvout", "", "also dump every explored candidate as CSV to this file (for plotting Figs. 7-8)")
+	failCand := flag.String("fail-candidate", "", "inject one evaluation failure at grid point size:p:node (flight-recorder fault injection)")
 	workers := pool.AddFlag(flag.CommandLine)
 	tel := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -52,7 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mnsim-dse:", err)
 		os.Exit(1)
 	}
-	err := run(ctx, os.Stdout, *caseName, *errLimit, *csvOut, *workers)
+	err := run(ctx, os.Stdout, *caseName, *errLimit, *csvOut, *failCand, *workers)
 	// The telemetry dumps are written even when the run fails: a failed
 	// sweep's metrics are exactly what the user wants to inspect.
 	tel.Run.SetError(err)
@@ -107,7 +109,7 @@ func baseDesign(weightBits int, neuron periph.NeuronKind) mnsim.Design {
 	}
 }
 
-func run(ctx context.Context, w io.Writer, caseName string, errLimit float64, csvOut string, workers int) error {
+func run(ctx context.Context, w io.Writer, caseName string, errLimit float64, csvOut, failCand string, workers int) error {
 	var (
 		base   mnsim.Design
 		layers []mnsim.LayerDims
@@ -148,6 +150,7 @@ func run(ctx context.Context, w io.Writer, caseName string, errLimit float64, cs
 	cands, err := mnsim.ExploreContext(ctx, base, layers, space, mnsim.ExploreOptions{
 		ErrorLimit: errLimit,
 		Workers:    workers,
+		FailEval:   failCand,
 	})
 	if err != nil {
 		return err

@@ -14,7 +14,7 @@ import (
 
 func TestRunLargeBank(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "largebank", 0.25, "", 0); err != nil {
+	if err := run(context.Background(), &sb, "largebank", 0.25, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -37,7 +37,7 @@ func TestRunVGG(t *testing.T) {
 		t.Skip("VGG sweep is slower")
 	}
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "vgg16", 0, "", 2); err != nil {
+	if err := run(context.Background(), &sb, "vgg16", 0, "", "", 2); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Deep CNN (VGG-16)") {
@@ -50,14 +50,14 @@ func TestRunVGG(t *testing.T) {
 
 func TestRunUnknownCase(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "zebra", 0, "", 0); err == nil {
+	if err := run(context.Background(), &sb, "zebra", 0, "", "", 0); err == nil {
 		t.Fatal("unknown case accepted")
 	}
 }
 
 func TestRunImpossibleConstraint(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "largebank", 1e-9, "", 0); err == nil {
+	if err := run(context.Background(), &sb, "largebank", 1e-9, "", "", 0); err == nil {
 		t.Fatal("infeasible constraint should fail")
 	}
 }
@@ -66,7 +66,7 @@ func TestRunCSVOut(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cands.csv")
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "largebank", 0.25, path, 0); err != nil {
+	if err := run(context.Background(), &sb, "largebank", 0.25, path, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -81,7 +81,7 @@ func TestRunCSVOut(t *testing.T) {
 		t.Errorf("CSV has only %d lines", lines)
 	}
 	// An unwritable path fails.
-	if err := run(context.Background(), &sb, "largebank", 0.25, filepath.Join(dir, "no", "dir", "x.csv"), 0); err == nil {
+	if err := run(context.Background(), &sb, "largebank", 0.25, filepath.Join(dir, "no", "dir", "x.csv"), "", 0); err == nil {
 		t.Error("unwritable CSV path accepted")
 	}
 }
@@ -117,7 +117,7 @@ func TestRunWithObservability(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	runErr := run(ctx, &sb, "largebank", 0.25, "", 2)
+	runErr := run(ctx, &sb, "largebank", 0.25, "", "", 2)
 	tel.Run.SetError(runErr)
 	if runErr != nil {
 		t.Fatal(runErr)

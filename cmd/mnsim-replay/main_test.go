@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnsim/internal/telemetry"
+)
+
+// The full CLI loop: -force-divergence captures a snapshot, a second
+// invocation replays it bit-identically — the CI smoke in miniature.
+func TestForceDivergenceThenReplay(t *testing.T) {
+	defer telemetry.DefaultJournal().Reset()
+	dir := t.TempDir()
+	jp := filepath.Join(dir, "run.jsonl")
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, "", "", jp, true, false); err != nil {
+		t.Fatalf("force-divergence: %v\n%s", err, sb.String())
+	}
+	lines := strings.Fields(strings.TrimSpace(sb.String()))
+	snapPath := lines[len(lines)-1]
+	if !strings.HasSuffix(snapPath, ".divergence.json") {
+		t.Fatalf("last output token %q is not a divergence snapshot path", snapPath)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	telemetry.DefaultJournal().Reset()
+
+	var rb strings.Builder
+	if err := run(context.Background(), &rb, snapPath, "", "", false, true); err != nil {
+		t.Fatalf("replay: %v\n%s", err, rb.String())
+	}
+	if !strings.Contains(rb.String(), "reproduced bit-identically") {
+		t.Fatalf("replay report:\n%s", rb.String())
+	}
+
+	// The whole journal replays too.
+	var jb strings.Builder
+	if err := run(context.Background(), &jb, jp, "", "", false, false); err != nil {
+		t.Fatalf("journal replay: %v\n%s", err, jb.String())
+	}
+	if !strings.Contains(jb.String(), "1 snapshot(s) reproduced bit-identically") {
+		t.Fatalf("journal replay report:\n%s", jb.String())
+	}
+}
+
+// -sp emits the snapshot's crossbar as a SPICE deck.
+func TestReplayNetlistOut(t *testing.T) {
+	defer telemetry.DefaultJournal().Reset()
+	dir := t.TempDir()
+	jp := filepath.Join(dir, "run.jsonl")
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, "", "", jp, true, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(strings.TrimSpace(sb.String()))
+	snapPath := lines[len(lines)-1]
+	telemetry.DefaultJournal().Reset()
+
+	sp := filepath.Join(dir, "crossbar.sp")
+	var rb strings.Builder
+	if err := run(context.Background(), &rb, snapPath, sp, "", false, false); err != nil {
+		t.Fatalf("replay -sp: %v\n%s", err, rb.String())
+	}
+	deck, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MNSIM", ".end"} {
+		if !strings.Contains(string(deck), want) {
+			t.Errorf("netlist missing %q:\n%.300s", want, deck)
+		}
+	}
+}
+
+func TestReplayUsageErrors(t *testing.T) {
+	defer telemetry.DefaultJournal().Reset()
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, "", "", "", false, false); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run(context.Background(), &sb, "", "", "", true, false); err == nil {
+		t.Error("-force-divergence without -journal accepted")
+	}
+	if err := run(context.Background(), &sb, filepath.Join(t.TempDir(), "nope.json"), "", "", false, false); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}

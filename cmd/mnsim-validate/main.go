@@ -7,6 +7,7 @@
 //	mnsim-validate -table2 -table3 -fig5        # run everything
 //	mnsim-validate -table3 -maxsize 128         # bound the slowest solve
 //	mnsim-validate -table3 -metrics-out m.prom  # dump Newton/CG iteration histograms
+//	mnsim-validate -table2 -journal run.jsonl   # flight-recorder event journal
 package main
 
 import (

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"mnsim/internal/crossbar"
 	"mnsim/internal/pool"
@@ -63,6 +64,21 @@ type MCResult struct {
 // grouping only amortises per-task scratch allocations — results never
 // depend on it, because every trial re-seeds its own stream.
 const mcShardSize = 64
+
+// mcSeq numbers Monte-Carlo runs process-wide for journal correlation ids.
+var mcSeq atomic.Int64
+
+// emitTrialEvent journals one mc_trial outcome. NaN cannot be JSON-encoded,
+// so a degenerate trial is flagged instead of carrying its sample value.
+func emitTrialEvent(runID string, t int, absErr float64, ok bool) {
+	data := map[string]any{"trial": t}
+	if ok {
+		data["abs_err"] = absErr
+	} else {
+		data["degenerate"] = true
+	}
+	telemetry.EmitEvent(telemetry.EvMCTrial, runID, data)
+}
 
 // trialSeed derives trial t's generator seed from the base seed with the
 // splitmix64 finalizer, decorrelating neighbouring trials.
@@ -165,6 +181,10 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 	// Live trial progress for /progress and the -progress stderr line.
 	prog := telemetry.StartPhase("mc.trials", int64(opt.Trials))
 	defer prog.Finish()
+	runID := ""
+	if telemetry.JournalOn() {
+		runID = fmt.Sprintf("mc-%d", mcSeq.Add(1))
+	}
 	gs := 1 / p.RSense
 	wire := WireTerm(p.Rows, p.Cols, p.Wire.SegmentR)
 	// samples[t] is trial t's |error|, NaN for a degenerate trial; the
@@ -181,6 +201,9 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 			v, ok, err := s.trial(p, opt.Sigma, gs, wire, opt.Rng)
 			if err != nil {
 				return MCResult{}, err
+			}
+			if runID != "" {
+				emitTrialEvent(runID, t, v, ok)
 			}
 			if !ok {
 				v = math.NaN()
@@ -210,6 +233,9 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 				v, ok, err := s.trial(p, opt.Sigma, gs, wire, rng)
 				if err != nil {
 					return err
+				}
+				if runID != "" {
+					emitTrialEvent(runID, t, v, ok)
 				}
 				if !ok {
 					v = math.NaN()

@@ -106,6 +106,10 @@ type Result struct {
 	// NodeV holds all node voltages (row nodes then column nodes) for
 	// callers that need cell operating points.
 	NodeV []float64
+	// Diag is the solve's numerical diagnostics: solver path, per-Newton
+	// residual/CG trajectory, and (with SolveOptions.Diagnostics) the
+	// Jacobian condition estimate.
+	Diag *Diagnostics
 }
 
 // node numbering: row cell nodes first, then column cell nodes.
@@ -285,9 +289,17 @@ type SolveOptions struct {
 	// CGTol is the relative tolerance of each inner linear solve;
 	// default 1e-10.
 	CGTol float64
+	// Diagnostics additionally computes the Jacobian condition estimate on
+	// successful solves (Diagnostics.CondEstimate); the estimate always
+	// runs on divergence. The convergence trajectory itself is recorded
+	// regardless — this only gates the extra eigenvalue work.
+	Diagnostics bool `json:"diagnostics,omitempty"`
 }
 
-// ErrNewtonDiverged is returned when Newton iteration fails to converge.
+// ErrNewtonDiverged is the sentinel a failed Newton solve matches with
+// errors.Is; the concrete error is a *DivergenceError carrying the
+// iteration budget spent, the final residual, and the full diagnostics
+// trajectory (use errors.As to get at it).
 var ErrNewtonDiverged = errors.New("circuit: Newton iteration did not converge")
 
 // Solve computes the DC operating point for the given input voltage vector
@@ -331,13 +343,47 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("circuit: solve aborted: %w", err)
 	}
+	// Flight recorder: a correlation id ties this solve's journal events
+	// together; the solve_end event is deferred so every exit path —
+	// success, divergence, CG failure, cancellation — is recorded.
+	jid, snapPath := "", ""
+	if telemetry.JournalOn() {
+		jid = nextSolveID("solve")
+		telemetry.EmitEvent(telemetry.EvSolveStart, jid, map[string]any{
+			"m": c.M, "n": c.N, "wire_r": c.WireR, "rsense": c.RSense,
+			"linear": c.Linear, "tol": opt.Tol, "max_newton": opt.MaxNewton,
+			"cg_tol": opt.CGTol,
+		})
+		defer func() {
+			data := map[string]any{"ok": err == nil}
+			if res != nil {
+				data["newton_iters"] = res.NewtonIters
+				data["cg_iters"] = res.CGIters
+			}
+			if err != nil {
+				data["err"] = err.Error()
+			}
+			if snapPath != "" {
+				data["snapshot"] = snapPath
+			}
+			telemetry.EmitEvent(telemetry.EvSolveEnd, jid, data)
+		}()
+	}
 	if c.WireR == 0 {
 		telZeroWireSolve.Inc()
-		return c.solveZeroWire(ctx, vin)
+		res, err = c.solveZeroWire(ctx, vin)
+		if res != nil {
+			res.Diag = &Diagnostics{Path: "zero-wire-bisection"}
+		}
+		return res, err
 	}
 	a, err := c.assemble(vin)
 	if err != nil {
 		return nil, err
+	}
+	diag := &Diagnostics{Path: "newton-cg"}
+	if c.Linear {
+		diag.Path = "linear-cg"
 	}
 	res = &Result{}
 	// Initial linear solve at calibrated resistances.
@@ -347,6 +393,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	}
 	res.CGIters += it
 	res.NewtonIters = 1
+	diag.SetupCGIters = it
 	if !c.Linear {
 		for iter := 0; iter < opt.MaxNewton; iter++ {
 			if err := ctx.Err(); err != nil {
@@ -369,17 +416,33 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 				}
 			}
 			v = vNew
+			diag.Residuals = append(diag.Residuals, delta)
+			diag.CGIters = append(diag.CGIters, it)
+			if jid != "" {
+				telemetry.EmitEvent(telemetry.EvNewtonIter, jid, map[string]any{
+					"iter": iter, "max_dv": jsonFinite(delta), "cg_iters": it,
+				})
+			}
 			if delta < opt.Tol {
 				break
 			}
 			if iter == opt.MaxNewton-1 {
 				telDiverged.Inc()
+				diag.CondEstimate = jsonFinite(linalg.EstimateCond(a.mat))
+				derr := &DivergenceError{Iters: opt.MaxNewton, FinalResidual: delta, Diag: diag}
 				telemetry.Log().Warn("newton iteration diverged",
 					"size", fmt.Sprintf("%dx%d", c.M, c.N), "max_newton", opt.MaxNewton, "tol", opt.Tol)
-				return nil, ErrNewtonDiverged
+				if telemetry.JournalOn() {
+					snapPath = saveSnapshot("divergence", c.NewSnapshot(vin, opt, nil, derr))
+				}
+				return nil, derr
 			}
 		}
 	}
+	if opt.Diagnostics {
+		diag.CondEstimate = jsonFinite(linalg.EstimateCond(a.mat))
+	}
+	res.Diag = diag
 	res.NodeV = v
 	res.VOut = make([]float64, c.N)
 	for n := 0; n < c.N; n++ {

@@ -1,0 +1,300 @@
+// Solve-level flight-recorder support: per-solve numerical diagnostics,
+// typed failure errors carrying the state needed to understand them, and
+// JSON snapshots that make any solve — especially a failing one —
+// reproducible bit-for-bit by cmd/mnsim-replay.
+package circuit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"mnsim/internal/device"
+	"mnsim/internal/telemetry"
+)
+
+// jsonFinite maps non-finite floats — which encoding/json refuses to
+// marshal — to the nearest representable sentinel, so even a trajectory
+// that exploded to Inf/NaN still journals and snapshots.
+func jsonFinite(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return 0
+	case math.IsInf(x, 1):
+		return math.MaxFloat64
+	case math.IsInf(x, -1):
+		return -math.MaxFloat64
+	}
+	return x
+}
+
+// jsonFiniteSlice applies jsonFinite element-wise into a fresh slice.
+func jsonFiniteSlice(xs []float64) []float64 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = jsonFinite(x)
+	}
+	return out
+}
+
+// Diagnostics is the numerical trajectory of one solve — the per-solve
+// convergence record (iteration counts, residual history, solver path,
+// conditioning) that XbarSim-style crossbar solver analyses treat as the
+// primary lens on solver quality.
+type Diagnostics struct {
+	// Path names the solver path taken: "newton-cg" (the full non-linear
+	// MNA solve), "linear-cg" (ideal-resistor cells), or
+	// "zero-wire-bisection" (the collapsed-node ideal-interconnect limit).
+	Path string `json:"path"`
+	// SetupCGIters is the CG iteration count of the initial linear solve
+	// at calibrated resistances (zero on the bisection path).
+	SetupCGIters int `json:"setup_cg_iters,omitempty"`
+	// Residuals is the max node-voltage update (volts) after each Newton
+	// iteration — the convergence trajectory. Empty for linear solves.
+	Residuals []float64 `json:"residuals,omitempty"`
+	// CGIters is the inner CG iteration count of each Newton step,
+	// aligned with Residuals.
+	CGIters []int `json:"cg_iters,omitempty"`
+	// CondEstimate is the estimated spectral condition number of the final
+	// MNA Jacobian (linalg.EstimateCond). Computed on divergence and when
+	// SolveOptions.Diagnostics is set; zero otherwise.
+	CondEstimate float64 `json:"cond_estimate,omitempty"`
+}
+
+// DivergenceError is the typed form of a Newton divergence: errors.Is
+// matches ErrNewtonDiverged, and the payload carries the iteration budget
+// spent, the final residual, and the full diagnostics trajectory.
+type DivergenceError struct {
+	// Iters is the number of Newton iterations performed before giving up.
+	Iters int
+	// FinalResidual is the max node-voltage update (volts) of the last
+	// iteration — how far from converged the solve still was.
+	FinalResidual float64
+	// Diag is the solve's full numerical trajectory.
+	Diag *Diagnostics
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("circuit: Newton iteration did not converge after %d iterations (final max ΔV %.3g V)",
+		e.Iters, e.FinalResidual)
+}
+
+// Unwrap makes errors.Is(err, ErrNewtonDiverged) hold.
+func (e *DivergenceError) Unwrap() error { return ErrNewtonDiverged }
+
+// ErrNotSettled is the sentinel a transient settling failure matches with
+// errors.Is; the returned error is a *NotSettledError carrying the budget
+// spent and the remaining output deviation.
+var ErrNotSettled = errors.New("circuit: outputs did not settle")
+
+// NotSettledError is the typed form of a transient settling failure,
+// distinguishing an exhausted step budget (a tuning problem) from invalid
+// input (an error the caller must fix).
+type NotSettledError struct {
+	// Steps is the number of backward-Euler steps integrated.
+	Steps int
+	// LastMaxDV is the worst remaining output deviation from the DC
+	// target (volts) when the budget ran out.
+	LastMaxDV float64
+}
+
+func (e *NotSettledError) Error() string {
+	return fmt.Sprintf("circuit: outputs did not settle within %d steps (remaining max ΔV %.3g V)",
+		e.Steps, e.LastMaxDV)
+}
+
+// Unwrap makes errors.Is(err, ErrNotSettled) hold.
+func (e *NotSettledError) Unwrap() error { return ErrNotSettled }
+
+// solveSeq numbers solves process-wide for journal correlation ids.
+var solveSeq atomic.Int64
+
+func nextSolveID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, solveSeq.Add(1))
+}
+
+// SnapshotSchemaVersion identifies the snapshot layout; bump it on any
+// incompatible change so mnsim-replay can refuse documents it does not
+// understand.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is the self-contained, bit-exact record of one solve: the full
+// crossbar state, the drive vector, the resolved solver options, and the
+// recorded outcome. encoding/json round-trips float64 exactly, so a
+// replayed snapshot must reproduce the recorded outcome bit-identically on
+// the same platform. Snapshots are written automatically next to the
+// journal when a solve diverges or a transient fails to settle, and on
+// demand via NewSnapshot.
+type Snapshot struct {
+	SchemaVersion int `json:"schema_version"`
+	// Kind is "dc" for an operating-point solve, "transient" for a
+	// settling run.
+	Kind string `json:"kind"`
+	// Tool and Seed are run provenance stamped from the journal metadata.
+	Tool string `json:"tool,omitempty"`
+	Seed *int64 `json:"seed,omitempty"`
+
+	M      int          `json:"m"`
+	N      int          `json:"n"`
+	R      [][]float64  `json:"r"`
+	WireR  float64      `json:"wire_r"`
+	RSense float64      `json:"rsense"`
+	Linear bool         `json:"linear"`
+	Device device.Model `json:"device"`
+
+	Vin     []float64         `json:"vin"`
+	Options SolveOptions      `json:"options"`
+	// Transient carries the resolved transient options for Kind
+	// "transient" snapshots.
+	Transient *TransientOptions `json:"transient,omitempty"`
+
+	Outcome Outcome `json:"outcome"`
+}
+
+// Outcome is the recorded result of the snapshot's solve — what a replay
+// must reproduce bit-identically.
+type Outcome struct {
+	OK bool `json:"ok"`
+	// Err is the recorded error string for failed solves.
+	Err string `json:"err,omitempty"`
+
+	// DC solve results.
+	VOut        []float64 `json:"vout,omitempty"`
+	Power       float64   `json:"power,omitempty"`
+	NewtonIters int       `json:"newton_iters,omitempty"`
+	CGIters     int       `json:"cg_iters,omitempty"`
+	// FinalResidual and Residuals record a divergence trajectory.
+	FinalResidual float64   `json:"final_residual,omitempty"`
+	Residuals     []float64 `json:"residuals,omitempty"`
+
+	// Transient results.
+	SettleSeconds float64 `json:"settle_seconds,omitempty"`
+	Steps         int     `json:"steps,omitempty"`
+	LastMaxDV     float64 `json:"last_max_dv,omitempty"`
+}
+
+// Crossbar rebuilds the solvable crossbar a snapshot describes.
+func (s *Snapshot) Crossbar() *Crossbar {
+	return &Crossbar{
+		M: s.M, N: s.N, R: s.R,
+		WireR: s.WireR, RSense: s.RSense,
+		Dev: s.Device, Linear: s.Linear,
+	}
+}
+
+// Validate checks the fields every schema-conformant snapshot must carry.
+func (s *Snapshot) Validate() error {
+	switch {
+	case s.SchemaVersion != SnapshotSchemaVersion:
+		return fmt.Errorf("circuit: snapshot schema_version %d, want %d", s.SchemaVersion, SnapshotSchemaVersion)
+	case s.Kind != "dc" && s.Kind != "transient":
+		return fmt.Errorf("circuit: snapshot kind %q, want dc or transient", s.Kind)
+	case s.Kind == "transient" && s.Transient == nil:
+		return fmt.Errorf("circuit: transient snapshot missing transient options")
+	case len(s.Vin) != s.M:
+		return fmt.Errorf("circuit: snapshot vin length %d, want %d", len(s.Vin), s.M)
+	}
+	return s.Crossbar().Validate()
+}
+
+// baseSnapshot captures the crossbar state plus journal provenance.
+func (c *Crossbar) baseSnapshot(kind string, vin []float64, opt SolveOptions) *Snapshot {
+	tool, seed := telemetry.DefaultJournal().Meta()
+	return &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Kind:          kind,
+		Tool:          tool,
+		Seed:          seed,
+		M:             c.M, N: c.N, R: c.R,
+		WireR: c.WireR, RSense: c.RSense,
+		Linear: c.Linear, Device: c.Dev,
+		Vin:     append([]float64(nil), vin...),
+		Options: opt,
+	}
+}
+
+// NewSnapshot records a completed DC solve — successful or failed — as a
+// replayable snapshot. opt should be the options the solve actually ran
+// with; res may be nil when err is non-nil.
+func (c *Crossbar) NewSnapshot(vin []float64, opt SolveOptions, res *Result, err error) *Snapshot {
+	s := c.baseSnapshot("dc", vin, opt)
+	if err != nil {
+		s.Outcome.Err = err.Error()
+		var de *DivergenceError
+		if errors.As(err, &de) {
+			s.Outcome.NewtonIters = de.Iters
+			s.Outcome.FinalResidual = jsonFinite(de.FinalResidual)
+			if de.Diag != nil {
+				s.Outcome.Residuals = jsonFiniteSlice(de.Diag.Residuals)
+			}
+		}
+		return s
+	}
+	s.Outcome.OK = true
+	s.Outcome.VOut = append([]float64(nil), res.VOut...)
+	s.Outcome.Power = res.Power
+	s.Outcome.NewtonIters = res.NewtonIters
+	s.Outcome.CGIters = res.CGIters
+	if res.Diag != nil {
+		s.Outcome.Residuals = jsonFiniteSlice(res.Diag.Residuals)
+	}
+	return s
+}
+
+// newTransientSnapshot records a completed settling run.
+func (c *Crossbar) newTransientSnapshot(vin []float64, opt TransientOptions, settle float64, steps int, lastMaxDV float64, err error) *Snapshot {
+	s := c.baseSnapshot("transient", vin, SolveOptions{})
+	topt := opt
+	s.Transient = &topt
+	s.Outcome.Steps = steps
+	s.Outcome.LastMaxDV = jsonFinite(lastMaxDV)
+	if err != nil {
+		s.Outcome.Err = err.Error()
+		return s
+	}
+	s.Outcome.OK = true
+	s.Outcome.SettleSeconds = settle
+	return s
+}
+
+// saveSnapshot hands a snapshot to the journal's snapshot sink; it returns
+// the written path ("" when the journal has no backing file) and never
+// fails the solve — a snapshot problem is logged, not propagated.
+func saveSnapshot(kind string, s *Snapshot) string {
+	path, err := telemetry.DefaultJournal().SaveSnapshot(kind, s)
+	if err != nil {
+		telemetry.Log().Warn("solver snapshot write failed", "kind", kind, "err", err)
+		return ""
+	}
+	return path
+}
+
+// WriteSnapshot writes a snapshot as an indented JSON document.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSnapshot reads and schema-validates a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("circuit: snapshot %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &s, nil
+}

@@ -1,0 +1,190 @@
+package circuit
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"mnsim/internal/device"
+	"mnsim/internal/telemetry"
+)
+
+// withTestJournal routes the default journal to a temp file for the test
+// and restores the disabled state afterwards.
+func withTestJournal(t *testing.T) string {
+	t.Helper()
+	j := telemetry.DefaultJournal()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := j.Open(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		j.Close()
+		j.Reset()
+	})
+	return path
+}
+
+func divergentCrossbar() *Crossbar {
+	dev := device.RRAM()
+	dev.NonlinearVc = 2e-3
+	return &Crossbar{M: 2, N: 2, R: uniformR(2, 2, 100e3), WireR: 1, RSense: 1500, Dev: dev}
+}
+
+// A diverging solve with the journal enabled must leave a full trail: a
+// solve_start/newton_iter/solve_end event chain, a snapshot referenced from
+// solve_end, and a snapshot file that loads, validates, and records the
+// divergence outcome.
+func TestDivergenceJournalAndSnapshot(t *testing.T) {
+	path := withTestJournal(t)
+	c := divergentCrossbar()
+	_, err := c.Solve([]float64{0.3, 0.3}, SolveOptions{MaxNewton: 5})
+	if !errors.Is(err, ErrNewtonDiverged) {
+		t.Fatalf("want divergence, got %v", err)
+	}
+	telemetry.DefaultJournal().Close()
+
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, iters, ends int
+	for _, ev := range events {
+		switch ev.Type {
+		case telemetry.EvSolveStart:
+			starts++
+		case telemetry.EvNewtonIter:
+			iters++
+		case telemetry.EvSolveEnd:
+			ends++
+			if ok, _ := ev.Data["ok"].(bool); ok {
+				t.Errorf("solve_end ok=true for diverged solve")
+			}
+		}
+	}
+	if starts != 1 || ends != 1 || iters != 5 {
+		t.Fatalf("event counts start/iter/end = %d/%d/%d, want 1/5/1", starts, iters, ends)
+	}
+	snaps := telemetry.JournalSnapshotPaths(path, events)
+	if len(snaps) != 1 {
+		t.Fatalf("journal references %d snapshots, want 1", len(snaps))
+	}
+	snap, err := LoadSnapshot(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != "dc" || snap.Outcome.OK || snap.Outcome.Err == "" {
+		t.Fatalf("snapshot outcome %+v", snap.Outcome)
+	}
+	if snap.Outcome.NewtonIters != 5 || len(snap.Outcome.Residuals) != 5 {
+		t.Fatalf("snapshot trajectory %d iters / %d residuals, want 5/5",
+			snap.Outcome.NewtonIters, len(snap.Outcome.Residuals))
+	}
+	if snap.Options.MaxNewton != 5 || snap.Options.Tol != 1e-9 {
+		t.Fatalf("snapshot options not normalised: %+v", snap.Options)
+	}
+}
+
+// A non-settling transient must snapshot too, with the resolved options.
+func TestNotSettledJournalAndSnapshot(t *testing.T) {
+	path := withTestJournal(t)
+	c := &Crossbar{M: 2, N: 2, R: uniformR(2, 2, 1e3), WireR: 1, RSense: 100, Linear: true}
+	_, err := c.SettleTime([]float64{0.3, 0.3}, TransientOptions{NodeCap: 1e-15, MaxSteps: 1, Dt: 1e-15})
+	if !errors.Is(err, ErrNotSettled) {
+		t.Fatalf("want ErrNotSettled, got %v", err)
+	}
+	telemetry.DefaultJournal().Close()
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := telemetry.JournalSnapshotPaths(path, events)
+	if len(snaps) != 1 {
+		t.Fatalf("journal references %d snapshots, want 1", len(snaps))
+	}
+	snap, err := LoadSnapshot(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != "transient" || snap.Transient == nil {
+		t.Fatalf("snapshot kind %q transient %v", snap.Kind, snap.Transient)
+	}
+	if snap.Transient.MaxSteps != 1 || snap.Transient.Dt != 1e-15 || snap.Transient.SettleFrac != 1.0/512 {
+		t.Fatalf("transient options not resolved: %+v", snap.Transient)
+	}
+	if snap.Outcome.OK || snap.Outcome.Steps != 1 || snap.Outcome.LastMaxDV <= 0 {
+		t.Fatalf("snapshot outcome %+v", snap.Outcome)
+	}
+}
+
+// Numerical neutrality: enabling the journal must not change a single bit
+// of the computed solution.
+func TestJournalNumericallyNeutral(t *testing.T) {
+	c := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 150e3), WireR: 0.5, RSense: 1500, Dev: device.RRAM()}
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	plain, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTestJournal(t)
+	recorded, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range plain.VOut {
+		if plain.VOut[n] != recorded.VOut[n] {
+			t.Fatalf("column %d: %v with journal vs %v without", n, recorded.VOut[n], plain.VOut[n])
+		}
+	}
+	if plain.Power != recorded.Power || plain.NewtonIters != recorded.NewtonIters || plain.CGIters != recorded.CGIters {
+		t.Fatalf("solve statistics differ with journal enabled")
+	}
+}
+
+// The success-path diagnostics record the full convergence trajectory, and
+// opting into SolveOptions.Diagnostics adds a positive condition estimate.
+func TestSolveDiagnosticsAttached(t *testing.T) {
+	c := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 150e3), WireR: 0.5, RSense: 1500, Dev: device.RRAM()}
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	res, err := c.Solve(vin, SolveOptions{Diagnostics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Diag
+	if d == nil {
+		t.Fatal("Result.Diag nil")
+	}
+	if d.Path != "newton-cg" {
+		t.Errorf("Path = %q", d.Path)
+	}
+	if d.SetupCGIters <= 0 {
+		t.Errorf("SetupCGIters = %d", d.SetupCGIters)
+	}
+	// NewtonIters counts the setup solve too; the trajectory holds the rest.
+	if len(d.Residuals) != res.NewtonIters-1 || len(d.CGIters) != res.NewtonIters-1 {
+		t.Errorf("trajectory %d/%d entries, want %d", len(d.Residuals), len(d.CGIters), res.NewtonIters-1)
+	}
+	if last := d.Residuals[len(d.Residuals)-1]; last >= 1e-9 {
+		t.Errorf("converged solve's final residual %v above Tol", last)
+	}
+	if d.CondEstimate <= 1 {
+		t.Errorf("CondEstimate = %v, want > 1", d.CondEstimate)
+	}
+	// Without the opt-in the estimate is skipped but the trajectory stays.
+	res2, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Diag == nil || res2.Diag.CondEstimate != 0 {
+		t.Fatalf("default solve diag %+v", res2.Diag)
+	}
+	// The zero-wire fast path labels itself.
+	zw := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 150e3), WireR: 0, RSense: 1500, Dev: device.RRAM()}
+	res3, err := zw.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Diag == nil || res3.Diag.Path != "zero-wire-bisection" {
+		t.Fatalf("zero-wire diag %+v", res3.Diag)
+	}
+}

@@ -9,14 +9,46 @@ import (
 )
 
 // Failure injection: a pathologically non-linear device must trip the
-// Newton divergence guard instead of looping or returning garbage.
+// Newton divergence guard instead of looping or returning garbage, and the
+// error must carry the diagnostics payload through the errors.Is/As chain.
 func TestNewtonDivergenceDetected(t *testing.T) {
 	dev := device.RRAM()
-	dev.NonlinearVc = 1e-4 // insanely steep sinh: exp(3000)-scale currents
+	// Steep enough that Newton oscillates forever, mild enough that each
+	// inner CG solve still converges — a true Newton divergence, not a
+	// linear-solver failure.
+	dev.NonlinearVc = 2e-3
 	c := &Crossbar{M: 2, N: 2, R: uniformR(2, 2, 100e3), WireR: 1, RSense: 1500, Dev: dev}
 	_, err := c.Solve([]float64{0.3, 0.3}, SolveOptions{MaxNewton: 5})
 	if err == nil {
 		t.Fatal("pathological device converged")
+	}
+	if !errors.Is(err, ErrNewtonDiverged) {
+		t.Fatalf("errors.Is(err, ErrNewtonDiverged) false for %v", err)
+	}
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("errors.As *DivergenceError false for %T", err)
+	}
+	if de.Iters != 5 {
+		t.Errorf("DivergenceError.Iters = %d, want 5", de.Iters)
+	}
+	if de.FinalResidual <= 0 {
+		t.Errorf("DivergenceError.FinalResidual = %v, want > 0", de.FinalResidual)
+	}
+	if de.Diag == nil {
+		t.Fatal("DivergenceError.Diag nil")
+	}
+	if len(de.Diag.Residuals) != 5 || len(de.Diag.CGIters) != 5 {
+		t.Errorf("trajectory lengths %d/%d, want 5/5", len(de.Diag.Residuals), len(de.Diag.CGIters))
+	}
+	if de.Diag.Path != "newton-cg" {
+		t.Errorf("Diag.Path = %q", de.Diag.Path)
+	}
+	if de.Diag.CondEstimate <= 0 {
+		t.Errorf("Diag.CondEstimate = %v, want > 0 on divergence", de.Diag.CondEstimate)
+	}
+	if last := de.Diag.Residuals[len(de.Diag.Residuals)-1]; last != de.FinalResidual {
+		t.Errorf("FinalResidual %v disagrees with trajectory tail %v", de.FinalResidual, last)
 	}
 }
 

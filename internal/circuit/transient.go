@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mnsim/internal/linalg"
+	"mnsim/internal/telemetry"
 )
 
 // TransientOptions tunes SettleTime.
@@ -64,6 +65,12 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 	if opt.MaxSteps <= 0 {
 		opt.MaxSteps = 100000
 	}
+	// Flight recorder: one transient_settle event per run, emitted at the
+	// settle/non-settle outcome with the resolved options in scope.
+	jid := ""
+	if telemetry.JournalOn() {
+		jid = nextSolveID("transient")
+	}
 	lin := *c
 	lin.Linear = true
 	a, err := lin.assemble(vin)
@@ -97,15 +104,25 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 	}
 	v := make([]float64, n2) // discharged start
 	rhs := make([]float64, n2)
+	// settled also reports the worst remaining output deviation in volts,
+	// so a non-settle failure can say how far from done it still was.
+	lastMaxDV := 0.0
 	settled := func() bool {
+		ok := true
+		worst := 0.0
 		for n := 0; n < c.N; n++ {
 			idx := c.colNode(c.M-1, n)
 			f := final[idx]
-			if math.Abs(v[idx]-f) > opt.SettleFrac*math.Max(math.Abs(f), 1e-12) {
-				return false
+			d := math.Abs(v[idx] - f)
+			if d > worst {
+				worst = d
+			}
+			if d > opt.SettleFrac*math.Max(math.Abs(f), 1e-12) {
+				ok = false
 			}
 		}
-		return true
+		lastMaxDV = worst
+		return ok
 	}
 	for step := 1; step <= opt.MaxSteps; step++ {
 		copy(rhs, a.rhsBase)
@@ -117,8 +134,27 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 			return 0, fmt.Errorf("circuit: transient step %d: %w", step, err)
 		}
 		if settled() {
-			return float64(step) * opt.Dt, nil
+			t := float64(step) * opt.Dt
+			if jid != "" {
+				telemetry.EmitEvent(telemetry.EvTransientSettle, jid, map[string]any{
+					"ok": true, "steps": step, "settle_seconds": t, "dt": opt.Dt,
+				})
+			}
+			return t, nil
 		}
 	}
-	return 0, fmt.Errorf("circuit: outputs did not settle within %d steps", opt.MaxSteps)
+	nerr := &NotSettledError{Steps: opt.MaxSteps, LastMaxDV: lastMaxDV}
+	if telemetry.JournalOn() {
+		snapPath := saveSnapshot("transient",
+			c.newTransientSnapshot(vin, opt, 0, opt.MaxSteps, lastMaxDV, nerr))
+		data := map[string]any{
+			"ok": false, "steps": opt.MaxSteps,
+			"last_max_dv": jsonFinite(lastMaxDV), "err": nerr.Error(),
+		}
+		if snapPath != "" {
+			data["snapshot"] = snapPath
+		}
+		telemetry.EmitEvent(telemetry.EvTransientSettle, jid, data)
+	}
+	return 0, nerr
 }

@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -62,8 +63,27 @@ func TestSettleTimeErrors(t *testing.T) {
 	if _, err := bad.SettleTime(nil, TransientOptions{NodeCap: 1e-15}); err == nil {
 		t.Error("invalid crossbar accepted")
 	}
-	// Too few steps to settle.
-	if _, err := c.SettleTime([]float64{0.3, 0.3}, TransientOptions{NodeCap: 1e-15, MaxSteps: 1, Dt: 1e-15}); err == nil {
-		t.Error("unsettleable budget accepted")
+	// Too few steps to settle: a typed ErrNotSettled carrying the budget
+	// spent and the remaining deviation, not an opaque formatted string.
+	_, err := c.SettleTime([]float64{0.3, 0.3}, TransientOptions{NodeCap: 1e-15, MaxSteps: 1, Dt: 1e-15})
+	if err == nil {
+		t.Fatal("unsettleable budget accepted")
+	}
+	if !errors.Is(err, ErrNotSettled) {
+		t.Fatalf("errors.Is(err, ErrNotSettled) false for %v", err)
+	}
+	var ns *NotSettledError
+	if !errors.As(err, &ns) {
+		t.Fatalf("errors.As *NotSettledError false for %T", err)
+	}
+	if ns.Steps != 1 {
+		t.Errorf("NotSettledError.Steps = %d, want 1", ns.Steps)
+	}
+	if ns.LastMaxDV <= 0 {
+		t.Errorf("NotSettledError.LastMaxDV = %v, want > 0", ns.LastMaxDV)
+	}
+	// Input-validation failures are NOT settle failures.
+	if _, err := c.SettleTime([]float64{0.3}, TransientOptions{NodeCap: 1e-15}); errors.Is(err, ErrNotSettled) {
+		t.Error("validation error matches ErrNotSettled")
 	}
 }

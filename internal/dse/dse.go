@@ -134,6 +134,35 @@ type Options struct {
 	// index-addressed, so any worker count produces the exact sequential
 	// output order.
 	Workers int
+	// FailEval injects one evaluation failure at the grid point named
+	// "size:p:node" (e.g. "8:2:45") — a fault-injection hook so the
+	// flight-recorder path (candidate_eval failure events, journal capture,
+	// replay) can be exercised end-to-end without a degenerate design. An
+	// unparsable spec fails the sweep; a spec naming a point outside the
+	// space injects nothing.
+	FailEval string
+}
+
+// failSpec is a parsed Options.FailEval grid point.
+type failSpec struct{ size, p, node int }
+
+func parseFailSpec(s string) (*failSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var f failSpec
+	if _, err := fmt.Sscanf(s, "%d:%d:%d", &f.size, &f.p, &f.node); err != nil {
+		return nil, fmt.Errorf("dse: bad FailEval spec %q, want size:p:node: %w", s, err)
+	}
+	return &f, nil
+}
+
+// errInjected tags Options.FailEval fault injections.
+var errInjected = errors.New("injected evaluation failure")
+
+// candID is the journal correlation id of one grid point, e.g. "cand-8x2@45".
+func candID(gp gridPoint) string {
+	return fmt.Sprintf("cand-%dx%d@%d", gp.size, gp.p, gp.node)
 }
 
 // gridPoint is one (wire node, crossbar size, parallelism) tuple of the
@@ -177,6 +206,10 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 	if len(space.CrossbarSizes) == 0 || len(space.Parallelisms) == 0 || len(space.WireNodes) == 0 {
 		return nil, fmt.Errorf("dse: empty exploration space")
 	}
+	inject, err := parseFailSpec(opt.FailEval)
+	if err != nil {
+		return nil, err
+	}
 	// Resolve every wire node up front: an unknown node is a caller mistake
 	// that fails the whole sweep, not a skippable grid point.
 	points := make([]gridPoint, 0, len(space.WireNodes)*len(space.CrossbarSizes)*len(space.Parallelisms))
@@ -208,7 +241,7 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 		failMu      sync.Mutex
 		lastEvalErr error
 	)
-	err := pool.Run(ctx, len(points), opt.Workers, func(tctx context.Context, i int) error {
+	err = pool.Run(ctx, len(points), opt.Workers, func(tctx context.Context, i int) error {
 		if err := tctx.Err(); err != nil {
 			return err
 		}
@@ -219,7 +252,13 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 		d.Parallelism = gp.p
 		d.Wire = gp.wire
 		_, cs := telemetry.StartSpan(ctx, "candidate")
-		r, err := evalCandidate(tctx, &d, layers, opt.Interface)
+		var r arch.Report
+		var err error
+		if inject != nil && inject.size == gp.size && inject.p == gp.p && inject.node == gp.node {
+			err = fmt.Errorf("%w at %s (FailEval)", errInjected, candID(gp))
+		} else {
+			r, err = evalCandidate(tctx, &d, layers, opt.Interface)
+		}
 		evalTime := cs.End()
 		if err != nil {
 			if tctx.Err() != nil {
@@ -229,6 +268,10 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 			}
 			if errors.Is(err, errUnbuildable) {
 				telUnbuildable.Inc()
+				if telemetry.JournalOn() {
+					telemetry.EmitEvent(telemetry.EvCandidateEval, candID(gp),
+						map[string]any{"outcome": "unbuildable"})
+				}
 				return nil // infeasible grid point (e.g. weight overflow)
 			}
 			telEvalFailed.Inc()
@@ -238,6 +281,12 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 			failMu.Unlock()
 			telemetry.Log().Warn("dse candidate evaluation failed",
 				"size", gp.size, "parallelism", gp.p, "wire_node", gp.node, "err", err)
+			if telemetry.JournalOn() {
+				telemetry.EmitEvent(telemetry.EvCandidateEval, candID(gp), map[string]any{
+					"outcome": "eval_failed", "err": err.Error(),
+					"eval_us": evalTime.Microseconds(),
+				})
+			}
 			return nil
 		}
 		telCandidates.Inc()
@@ -254,6 +303,17 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 			telFeasible.Inc()
 		} else {
 			telInfeasible.Inc()
+		}
+		if telemetry.JournalOn() {
+			outcome := "ok"
+			if !c.Feasible {
+				outcome = "infeasible"
+			}
+			telemetry.EmitEvent(telemetry.EvCandidateEval, candID(gp), map[string]any{
+				"outcome": outcome, "eval_us": evalTime.Microseconds(),
+				"area_mm2": r.AreaMM2, "energy_j": r.EnergyPerSample,
+				"latency_s": r.PipelineCycle, "error_worst": r.ErrorWorst,
+			})
 		}
 		results[i] = c
 		return nil

@@ -1,0 +1,85 @@
+package dse
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"mnsim/internal/telemetry"
+)
+
+// An injected evaluation failure (Options.FailEval) must journal a
+// candidate_eval event with outcome "eval_failed" while the rest of the
+// sweep completes, and the surviving grid points still journal their own
+// outcomes.
+func TestExploreFailEvalJournaled(t *testing.T) {
+	j := telemetry.DefaultJournal()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := j.Open(path); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		j.Close()
+		j.Reset()
+	}()
+	cands, err := Explore(context.Background(), baseDesign(), largeLayer, smallSpace(),
+		Options{ErrorLimit: 0.25, FailEval: "64:16:45"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of the 18 grid points was sacrificed to the injection.
+	if len(cands) != 17 {
+		t.Fatalf("got %d candidates, want 17", len(cands))
+	}
+	for _, c := range cands {
+		if c.CrossbarSize == 64 && c.Parallelism == 16 && c.WireNode == 45 {
+			t.Fatal("injected grid point still evaluated")
+		}
+	}
+	j.Close()
+	events, err := telemetry.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, evaluated int
+	for _, ev := range events {
+		if ev.Type != telemetry.EvCandidateEval {
+			continue
+		}
+		switch ev.Data["outcome"] {
+		case "eval_failed":
+			failed++
+			if ev.ID != "cand-64x16@45" {
+				t.Errorf("failure event id %q, want cand-64x16@45", ev.ID)
+			}
+			if s, _ := ev.Data["err"].(string); s == "" {
+				t.Error("failure event missing err")
+			}
+		case "ok", "infeasible":
+			evaluated++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d eval_failed events, want 1", failed)
+	}
+	if evaluated != 17 {
+		t.Fatalf("%d ok/infeasible events, want 17", evaluated)
+	}
+}
+
+// A malformed FailEval spec fails the sweep up front; a spec naming a grid
+// point outside the space injects nothing.
+func TestFailEvalSpec(t *testing.T) {
+	if _, err := Explore(context.Background(), baseDesign(), largeLayer, smallSpace(),
+		Options{FailEval: "banana"}); err == nil {
+		t.Error("malformed FailEval accepted")
+	}
+	cands, err := Explore(context.Background(), baseDesign(), largeLayer, smallSpace(),
+		Options{FailEval: "7:7:7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 18 {
+		t.Fatalf("out-of-space injection changed the sweep: %d candidates", len(cands))
+	}
+}

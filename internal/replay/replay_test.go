@@ -1,0 +1,166 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnsim/internal/circuit"
+	"mnsim/internal/device"
+	"mnsim/internal/telemetry"
+)
+
+func uniformR(m, n int, r float64) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = r
+		}
+	}
+	return out
+}
+
+func testCrossbar() *circuit.Crossbar {
+	return &circuit.Crossbar{
+		M: 4, N: 4, R: uniformR(4, 4, 150e3),
+		WireR: 0.5, RSense: 1500, Dev: device.RRAM(),
+	}
+}
+
+// Record a successful solve, snapshot it, reload, replay: bit-identical.
+func TestReplayRoundTripSuccess(t *testing.T) {
+	c := testCrossbar()
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	opt := circuit.SolveOptions{Tol: 1e-9, MaxNewton: 50, CGTol: 1e-10}
+	res, err := c.Solve(vin, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.NewSnapshot(vin, opt, res, nil)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := circuit.WriteSnapshot(f, snap); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := circuit.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Snapshot(context.Background(), loaded, &sb, true); err != nil {
+		t.Fatalf("replay mismatch: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "bit-identical") {
+		t.Fatalf("replay report missing verdict:\n%s", sb.String())
+	}
+	// Verbose mode prints the per-iteration trajectory.
+	if !strings.Contains(sb.String(), "newton  0") && !strings.Contains(sb.String(), "newton 0") {
+		t.Fatalf("verbose replay missing iteration lines:\n%s", sb.String())
+	}
+}
+
+// A tampered recorded outcome must be detected as a mismatch.
+func TestReplayDetectsMismatch(t *testing.T) {
+	c := testCrossbar()
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	opt := circuit.SolveOptions{Tol: 1e-9, MaxNewton: 50, CGTol: 1e-10}
+	res, err := c.Solve(vin, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.NewSnapshot(vin, opt, res, nil)
+	snap.Outcome.VOut[2] += 1e-15
+	var sb strings.Builder
+	err = Snapshot(context.Background(), snap, &sb, false)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("tampered snapshot replayed clean: %v", err)
+	}
+}
+
+// The flight-recorder loop end to end: journal a diverging solve, then
+// replay the journal file — the captured snapshot must reproduce the
+// divergence bit-identically.
+func TestReplayJournalDivergence(t *testing.T) {
+	j := telemetry.DefaultJournal()
+	jp := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := j.Open(jp); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		j.Close()
+		j.Reset()
+	}()
+	dev := device.RRAM()
+	dev.NonlinearVc = 2e-3
+	c := &circuit.Crossbar{M: 2, N: 2, R: uniformR(2, 2, 100e3), WireR: 1, RSense: 1500, Dev: dev}
+	if _, err := c.Solve([]float64{0.3, 0.3}, circuit.SolveOptions{MaxNewton: 5}); !errors.Is(err, circuit.ErrNewtonDiverged) {
+		t.Fatalf("want divergence, got %v", err)
+	}
+	j.Close()
+	var sb strings.Builder
+	n, err := File(context.Background(), jp, &sb, true)
+	if err != nil {
+		t.Fatalf("journal replay: %v\n%s", err, sb.String())
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d snapshots, want 1", n)
+	}
+	if !strings.Contains(sb.String(), "failure reproduced bit-identically") {
+		t.Fatalf("replay report:\n%s", sb.String())
+	}
+	// Verbose failure replay surfaces the condition estimate.
+	if !strings.Contains(sb.String(), "cond(J)") {
+		t.Fatalf("verbose failure replay missing cond estimate:\n%s", sb.String())
+	}
+}
+
+// A non-settling transient round-trips through its snapshot too.
+func TestReplayTransientNonSettle(t *testing.T) {
+	j := telemetry.DefaultJournal()
+	jp := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := j.Open(jp); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		j.Close()
+		j.Reset()
+	}()
+	c := &circuit.Crossbar{M: 2, N: 2, R: uniformR(2, 2, 1e3), WireR: 1, RSense: 100, Linear: true}
+	_, err := c.SettleTime([]float64{0.3, 0.3},
+		circuit.TransientOptions{NodeCap: 1e-15, MaxSteps: 1, Dt: 1e-15})
+	if !errors.Is(err, circuit.ErrNotSettled) {
+		t.Fatalf("want ErrNotSettled, got %v", err)
+	}
+	j.Close()
+	var sb strings.Builder
+	if _, err := File(context.Background(), jp, &sb, false); err != nil {
+		t.Fatalf("transient replay: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "non-settle reproduced bit-identically") {
+		t.Fatalf("replay report:\n%s", sb.String())
+	}
+}
+
+// Journals without snapshots and unreadable paths fail loudly.
+func TestReplayFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if _, err := File(context.Background(), filepath.Join(dir, "missing.json"), &sb, false); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, []byte(`{"seq":1,"t_ns":1,"type":"journal"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := File(context.Background(), empty, &sb, false); err == nil {
+		t.Error("snapshot-less journal accepted")
+	}
+}

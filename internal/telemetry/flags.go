@@ -18,9 +18,13 @@ import (
 //	                    (Prometheus text; JSON when the path ends in .json)
 //	-trace-out file     write the aggregated span trace as JSON on exit
 //	-run-out file       write the run manifest (run.json) on exit
+//	-journal file       record the flight-recorder event journal (JSONL:
+//	                    solve_start/newton_iter/solve_end/transient_settle/
+//	                    candidate_eval/mc_trial/phase); divergence and
+//	                    non-settle snapshots land next to the file
 //	-serve addr         serve the observability endpoints (/metrics,
 //	                    /metrics.json, /trace, /progress, /runinfo,
-//	                    /healthz, /debug/pprof/*)
+//	                    /events, /healthz, /debug/pprof/*)
 //	-serve-hold d       keep the -serve server up for d after the run so
 //	                    a scraper can take a final sample
 //	-pprof addr         deprecated alias of -serve exposing only
@@ -38,6 +42,7 @@ type Flags struct {
 	MetricsOut string
 	TraceOut   string
 	RunOut     string
+	Journal    string
 	ServeAddr  string
 	ServeHold  time.Duration
 	PprofAddr  string
@@ -70,8 +75,10 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		"write the aggregated span trace as JSON to this file on exit")
 	fs.StringVar(&f.RunOut, "run-out", "",
 		"write the run manifest (run.json: tool, args, seed, per-phase wall time, final metrics, exit status) to this file on exit")
+	fs.StringVar(&f.Journal, "journal", "",
+		"record the flight-recorder event journal (JSONL) to this file; solver divergence / non-settle snapshots are written next to it")
 	fs.StringVar(&f.ServeAddr, "serve", "",
-		"serve the observability endpoints on this address (e.g. localhost:6060): /metrics, /metrics.json, /trace, /progress, /runinfo, /healthz, /debug/pprof/*")
+		"serve the observability endpoints on this address (e.g. localhost:6060): /metrics, /metrics.json, /trace, /progress, /runinfo, /events, /healthz, /debug/pprof/*")
 	fs.DurationVar(&f.ServeHold, "serve-hold", 0,
 		"keep the -serve server up this long after the run completes, for a final scrape (Ctrl-C ends the hold early)")
 	fs.StringVar(&f.PprofAddr, "pprof", "",
@@ -103,6 +110,19 @@ func (f *Flags) StartContext(ctx context.Context) error {
 	}
 	if f.Run != nil && len(os.Args) > 1 {
 		f.Run.SetArgs(os.Args[1:])
+	}
+	// Flight recorder: -journal records to a file (snapshots land next to
+	// it); -serve alone enables ring-only recording so /events is live.
+	if f.Run != nil {
+		info := f.Run.snapshot()
+		defaultJournal.SetMeta(info.Tool, info.Seed)
+	}
+	if f.Journal != "" {
+		if err := defaultJournal.Open(f.Journal); err != nil {
+			return err
+		}
+	} else if f.ServeAddr != "" {
+		defaultJournal.EnableRing()
 	}
 	// Port 0 means "pick any free port", so two :0 binds never collide.
 	if f.ServeAddr != "" && f.ServeAddr == f.PprofAddr && !strings.HasSuffix(f.ServeAddr, ":0") {
@@ -262,6 +282,13 @@ func (f *Flags) Finish() error {
 			run = NewRunInfo()
 		}
 		if err := WriteManifestFile(f.RunOut, run); err != nil && first == nil {
+			first = err
+		}
+	}
+	// Close the journal after the dumps: recording is over, but the ring
+	// buffer survives so /events stays inspectable through -serve-hold.
+	if f.Journal != "" || f.ServeAddr != "" {
+		if err := defaultJournal.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -96,7 +96,18 @@ func (p *Phase) Finish() {
 	if p == nil {
 		return
 	}
-	p.endNS.CompareAndSwap(0, time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	if !p.endNS.CompareAndSwap(0, now) {
+		return
+	}
+	if JournalOn() {
+		EmitEvent(EvPhase, p.name, map[string]any{
+			"action":     "finish",
+			"done":       p.done.Load(),
+			"total":      p.total.Load(),
+			"elapsed_ns": now - p.start.UnixNano(),
+		})
+	}
 }
 
 // PhaseStatus is the exported snapshot of one phase.
@@ -207,6 +218,9 @@ func (t *ProgressTracker) StartPhase(name string, total int64) *Phase {
 	}
 	t.phases[name] = p
 	t.mu.Unlock()
+	if JournalOn() {
+		EmitEvent(EvPhase, name, map[string]any{"action": "start", "total": total})
+	}
 	return p
 }
 

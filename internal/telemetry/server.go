@@ -28,6 +28,8 @@ func jsonHandler(write func(w http.ResponseWriter) error) http.HandlerFunc {
 //	/metrics.json   the same registry as JSON
 //	/trace          span wall-time aggregates as JSON
 //	/progress       live sweep phases: total/done, rate, ETA
+//	/events         the flight-recorder ring buffer (most recent journal
+//	                events) with total/dropped counts
 //	/runinfo        tool, args, seed, workers, Go/OS version, elapsed
 //	/healthz        liveness probe ("ok")
 //	/debug/pprof/*  net/http/pprof profiles
@@ -49,6 +51,9 @@ func NewServeMux(run *RunInfo) *http.ServeMux {
 	}))
 	mux.HandleFunc("/progress", jsonHandler(func(w http.ResponseWriter) error {
 		return defaultProgress.WriteJSON(w)
+	}))
+	mux.HandleFunc("/events", jsonHandler(func(w http.ResponseWriter) error {
+		return defaultJournal.WriteEventsJSON(w)
 	}))
 	if run != nil {
 		mux.HandleFunc("/runinfo", jsonHandler(func(w http.ResponseWriter) error {

@@ -167,13 +167,28 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 	}
 	prog.Inc()
 
-	return []Row{
+	rows := []Row{
 		{"Computation Power (W)", 2 * p.ComputePower(), 2 * compPower},
 		{"Read Power (W)", 2 * p.ReadPower(), 2 * readPower},
 		{"Computation Energy (J, 3-layer ANN)", modelEnergy, circuitEnergy},
 		{"Latency (s)", modelLatency, settle},
 		{"Average Relative Accuracy", modelAcc, circuitAcc},
-	}, nil
+	}
+	if telemetry.JournalOn() {
+		worst := 0.0
+		for _, r := range rows {
+			if e := r.Error(); e > worst || -e > worst {
+				if e < 0 {
+					e = -e
+				}
+				worst = e
+			}
+		}
+		telemetry.EmitEvent(telemetry.EvPhase, "validate.table2", map[string]any{
+			"action": "summary", "rows": len(rows), "worst_rel_error": worst,
+		})
+	}
+	return rows, nil
 }
 
 // TableIII measures the simulation time of the circuit-level solver versus
@@ -239,6 +254,17 @@ func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, 
 			CircuitIters: res.CGIters,
 		})
 		prog.Inc()
+	}
+	if telemetry.JournalOn() {
+		maxSpeedUp := 0.0
+		for _, r := range out {
+			if r.SpeedUp > maxSpeedUp {
+				maxSpeedUp = r.SpeedUp
+			}
+		}
+		telemetry.EmitEvent(telemetry.EvPhase, "validate.table3", map[string]any{
+			"action": "summary", "sizes": len(out), "max_speedup": maxSpeedUp,
+		})
 	}
 	return out, nil
 }
@@ -313,6 +339,19 @@ func Fig5Context(ctx context.Context, sizes, nodes []int, workers int) ([]Fig5Po
 	})
 	if err != nil {
 		return nil, err
+	}
+	if telemetry.JournalOn() {
+		worstGap := 0.0
+		for _, pt := range out {
+			if gap := pt.Model - pt.Circuit; gap > worstGap {
+				worstGap = gap
+			} else if -gap > worstGap {
+				worstGap = -gap
+			}
+		}
+		telemetry.EmitEvent(telemetry.EvPhase, "validate.fig5", map[string]any{
+			"action": "summary", "points": len(out), "worst_model_gap": worstGap,
+		})
 	}
 	return out, nil
 }
