@@ -1,0 +1,70 @@
+// Command mnsim-lint runs the project's static-analysis pass: six
+// analyzers that mechanically enforce the simulator's determinism,
+// cancellation, and clock-hygiene invariants (see internal/lint and the
+// "Enforced invariants" appendix in DESIGN.md).
+//
+// Usage:
+//
+//	mnsim-lint [-json] [-tests] [-strict] [packages...]
+//
+// Package patterns follow the go tool ("./...", "./internal/circuit");
+// the default is "./...". Exit status is 0 when the tree is clean, 1
+// when there are findings, and 2 on usage or load errors. Findings are
+// suppressible with a reasoned "//lint:ignore <analyzer> <reason>"
+// comment on the offending line or the line above; -strict additionally
+// flags suppressions that no longer match any finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mnsim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mnsim-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON document instead of text lines")
+	tests := fs.Bool("tests", false, "also load and analyze _test.go files")
+	strict := fs.Bool("strict", false, "flag stale //lint:ignore comments that suppress nothing")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mnsim-lint [-json] [-tests] [-strict] [packages...]")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr, "\nanalyzers:")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	res, err := lint.Run(lint.Options{
+		Patterns: fs.Args(),
+		Tests:    *tests,
+		Strict:   *strict,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mnsim-lint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := res.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "mnsim-lint:", err)
+			return 2
+		}
+	} else {
+		res.WriteText(stdout)
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(stderr, "mnsim-lint: %d finding(s)\n", len(res.Diagnostics))
+		return 1
+	}
+	return 0
+}

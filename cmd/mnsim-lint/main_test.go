@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs main's run() with stdout and stderr redirected to temp
+// files and returns (exit code, stdout, stderr).
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.Create(filepath.Join(dir, "err"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	if err := outF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := errF.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errb, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out), string(errb)
+}
+
+const fixtures = "../../internal/lint/testdata/src"
+
+// TestFixturesExitNonZero is the acceptance gate: the CLI must exit
+// non-zero on every analyzer's fixture package, through the real
+// module-path resolution (no fake paths).
+func TestFixturesExitNonZero(t *testing.T) {
+	cases := []struct {
+		name    string
+		pattern string
+		wantSub string // a message fragment proving the right analyzer fired
+	}{
+		{"norawrand", "norawrand", "process-global source"},
+		{"noclock", "noclock/...", "clock-free package"},
+		{"ctxloop", "ctxloop", "never checks ctx"},
+		{"nofloateq", "nofloateq", "floating-point"},
+		{"noprint", "noprint/...", "writes to process stdout"},
+		{"errdrop", "errdrop", "silently discarded"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, _ := capture(t, filepath.Join(fixtures, tc.pattern))
+			if code != 1 {
+				t.Fatalf("exit = %d on %s fixture, want 1; stdout:\n%s", code, tc.name, out)
+			}
+			if !strings.Contains(out, "["+tc.name+"]") || !strings.Contains(out, tc.wantSub) {
+				t.Fatalf("stdout missing %s finding (want fragment %q):\n%s", tc.name, tc.wantSub, out)
+			}
+		})
+	}
+}
+
+// TestRepoClean is the other half of the acceptance gate: the linter
+// exits 0 on the repository at HEAD (everything fixed or suppressed
+// with a reason).
+func TestRepoClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	code, out, errb := capture(t, "./...")
+	if code != 0 {
+		t.Fatalf("mnsim-lint ./... exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("clean run produced output:\n%s", out)
+	}
+}
+
+// TestJSONOutput checks the -json document shape and that it is
+// emitted on findings (CI uploads it as an artifact either way).
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := capture(t, "-json", filepath.Join(fixtures, "errdrop"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if doc.Count == 0 || doc.Count != len(doc.Diagnostics) {
+		t.Fatalf("count %d inconsistent with %d diagnostics", doc.Count, len(doc.Diagnostics))
+	}
+	for _, d := range doc.Diagnostics {
+		if d.Analyzer != "errdrop" || d.Line == 0 || d.File == "" {
+			t.Fatalf("malformed diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestBadFlagExits2 pins usage errors to exit code 2.
+func TestBadFlagExits2(t *testing.T) {
+	if code, _, _ := capture(t, "-definitely-not-a-flag"); code != 2 {
+		t.Fatalf("exit = %d on bad flag, want 2", code)
+	}
+}
+
+// TestBadPatternExits2 pins load errors to exit code 2.
+func TestBadPatternExits2(t *testing.T) {
+	code, _, errb := capture(t, "./no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d on bad pattern, want 2", code)
+	}
+	if !strings.Contains(errb, "mnsim-lint:") {
+		t.Fatalf("stderr missing error: %s", errb)
+	}
+}

@@ -98,7 +98,11 @@ func forceDivergence(ctx context.Context, w io.Writer, journal string) error {
 	if !errors.Is(err, circuit.ErrNewtonDiverged) {
 		return fmt.Errorf("forced solve did not diverge: %v", err)
 	}
-	telemetry.DefaultJournal().Close()
+	// The snapshot path is read back from the journal below, so a failed
+	// flush-on-close means the self-test cannot be trusted.
+	if cerr := telemetry.DefaultJournal().Close(); cerr != nil {
+		return fmt.Errorf("closing journal: %w", cerr)
+	}
 	events, rerr := telemetry.ReadJournalFile(journal)
 	if rerr != nil {
 		return rerr

@@ -143,6 +143,7 @@ type diffRow struct {
 
 // relDelta returns the relative change from a to b.
 func relDelta(a, b float64) float64 {
+	//lint:ignore nofloateq exact match (including 0==0) must report delta 0; any real difference falls through to the relative form
 	if a == b {
 		return 0
 	}

@@ -250,16 +250,29 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 		}
 	}
 	// Compact out the degenerate trials in index order, then sort.
+	errs := compactFinite(samples)
+	if len(errs) == 0 {
+		return MCResult{}, fmt.Errorf("accuracy: all trials degenerate")
+	}
+	sort.Float64s(errs)
+	return summarize(errs), nil
+}
+
+// compactFinite drops the NaN markers of degenerate trials in place,
+// preserving index order.
+func compactFinite(samples []float64) []float64 {
 	errs := samples[:0]
 	for _, v := range samples {
 		if !math.IsNaN(v) {
 			errs = append(errs, v)
 		}
 	}
-	if len(errs) == 0 {
-		return MCResult{}, fmt.Errorf("accuracy: all trials degenerate")
-	}
-	sort.Float64s(errs)
+	return errs
+}
+
+// summarize reduces the ascending-sorted error-rate samples to the
+// MCResult moments and percentiles.
+func summarize(errs []float64) MCResult {
 	res := MCResult{Trials: len(errs)}
 	sum, sumSq := 0.0, 0.0
 	for _, e := range errs {
@@ -272,7 +285,7 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 	res.P95 = percentile(errs, 0.95)
 	res.P99 = percentile(errs, 0.99)
 	res.Max = errs[len(errs)-1]
-	return res, nil
+	return res
 }
 
 // percentile returns the q-th quantile of an ascending-sorted slice with

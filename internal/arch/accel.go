@@ -100,7 +100,6 @@ func (a *Accelerator) EvaluateContext(ctx context.Context) (Report, error) {
 	var r Report
 	areaUM2 := a.InIface.Area + a.OutIface.Area
 	staticPower := a.InIface.StaticPower + a.OutIface.StaticPower
-	dynPower := 0.0
 	r.SampleLatency = a.InIface.Latency + a.OutIface.Latency
 	deltaAvg, deltaWorst := 0.0, 0.0
 	for _, b := range a.Banks {
@@ -125,17 +124,22 @@ func (a *Accelerator) EvaluateContext(ctx context.Context) (Report, error) {
 		deltaAvg = repAvg.AvgRate
 		deltaWorst = repWorst.WorstRate
 	}
-	// At full pipeline utilisation every bank runs one pass per pipeline
-	// cycle.
-	for _, b := range a.Banks {
-		dynPower += b.PassPerf.DynamicEnergy / r.PipelineCycle
-	}
 	r.EnergyPerSample += a.InIface.DynamicEnergy + a.OutIface.DynamicEnergy
 	r.AreaMM2 = areaUM2 * 1e-6
-	r.Power = dynPower + staticPower
+	r.Power = a.pipelineDynPower(r.PipelineCycle) + staticPower
 	r.ErrorWorst = deltaWorst
 	r.ErrorAvg = deltaAvg
 	return r, nil
+}
+
+// pipelineDynPower sums the banks' dynamic power at full pipeline
+// utilisation, where every bank runs one pass per pipeline cycle.
+func (a *Accelerator) pipelineDynPower(cycle float64) float64 {
+	p := 0.0
+	for _, b := range a.Banks {
+		p += b.PassPerf.DynamicEnergy / cycle
+	}
+	return p
 }
 
 // TotalCrossbars returns the physical crossbar count of the accelerator.

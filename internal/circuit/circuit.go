@@ -444,17 +444,30 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	}
 	res.Diag = diag
 	res.NodeV = v
-	res.VOut = make([]float64, c.N)
+	res.VOut = c.extractVOut(v)
+	res.Power = c.sourcePower(vin, v)
+	return res, nil
+}
+
+// extractVOut reads the sense-node voltages of the solved network.
+func (c *Crossbar) extractVOut(v []float64) []float64 {
+	out := make([]float64, c.N)
 	for n := 0; n < c.N; n++ {
-		res.VOut[n] = v[c.colNode(c.M-1, n)]
+		out[n] = v[c.colNode(c.M-1, n)]
 	}
-	// Source power: each source drives its row through the first segment.
+	return out
+}
+
+// sourcePower sums the power each source delivers driving its row
+// through the first wire segment.
+func (c *Crossbar) sourcePower(vin, v []float64) float64 {
 	gw := c.wireG()
+	p := 0.0
 	for m := 0; m < c.M; m++ {
 		i := gw * (vin[m] - v[c.rowNode(m, 0)])
-		res.Power += vin[m] * i
+		p += vin[m] * i
 	}
-	return res, nil
+	return p
 }
 
 // CellVoltage returns the voltage across cell (m,n) in a solved result.

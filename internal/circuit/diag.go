@@ -149,8 +149,8 @@ type Snapshot struct {
 	Linear bool         `json:"linear"`
 	Device device.Model `json:"device"`
 
-	Vin     []float64         `json:"vin"`
-	Options SolveOptions      `json:"options"`
+	Vin     []float64    `json:"vin"`
+	Options SolveOptions `json:"options"`
 	// Transient carries the resolved transient options for Kind
 	// "transient" snapshots.
 	Transient *TransientOptions `json:"transient,omitempty"`

@@ -1,0 +1,15 @@
+package lint
+
+// All returns the full analyzer set in stable order. Each analyzer
+// protects a specific guarantee an earlier PR shipped; see the
+// "Enforced invariants" appendix in DESIGN.md for the mapping.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoRawRand,
+		NoClock,
+		CtxLoop,
+		NoFloatEq,
+		NoPrint,
+		ErrDrop,
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import "testing"
+
+// TestAnalyzerFixtures drives every analyzer over its golden fixture
+// package. The fake import paths mirror where such code would live in
+// the module, which is what arms the path-scoped analyzers (noclock,
+// noprint); the fixture directories for those two also really end in
+// internal/circuit / internal/noprint so the same packages trip the
+// real CLI (see cmd/mnsim-lint tests).
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		dir  string
+		path string
+	}{
+		{NoRawRand, "norawrand", "mnsim/lintfixture/norawrand"},
+		{NoClock, "noclock/internal/circuit", "mnsim/internal/circuit/lintfixture"},
+		{CtxLoop, "ctxloop", "mnsim/lintfixture/ctxloop"},
+		{NoFloatEq, "nofloateq", "mnsim/lintfixture/nofloateq"},
+		{NoPrint, "noprint/internal/noprint", "mnsim/internal/lintfixture/noprint"},
+		{ErrDrop, "errdrop", "mnsim/lintfixture/errdrop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.a.Name, func(t *testing.T) {
+			checkFixture(t, tc.a, tc.dir, tc.path)
+		})
+	}
+}
+
+// TestNoClockSkipsUnrestrictedPackages pins the scoping rule: the same
+// clock-reading fixture under a non-numerical path produces nothing.
+func TestNoClockSkipsUnrestrictedPackages(t *testing.T) {
+	u := loadFixture(t, "noclock/internal/circuit", "mnsim/internal/telemetry/lintfixture")
+	if diags := runAnalyzers(u, []*Analyzer{NoClock}); len(diags) != 0 {
+		t.Fatalf("noclock fired outside its subtrees: %v", diags)
+	}
+}
+
+// TestNoPrintSkipsNonInternal pins the scoping rule for noprint: the
+// same printing fixture outside internal/ produces nothing (CLIs own
+// their stdout).
+func TestNoPrintSkipsNonInternal(t *testing.T) {
+	u := loadFixture(t, "noprint/internal/noprint", "mnsim/cmd/lintfixture")
+	if diags := runAnalyzers(u, []*Analyzer{NoPrint}); len(diags) != 0 {
+		t.Fatalf("noprint fired outside internal/: %v", diags)
+	}
+}
+
+// TestAllStableOrder guards the registry: six analyzers, stable order,
+// unique names (suppressions address analyzers by name).
+func TestAllStableOrder(t *testing.T) {
+	all := All()
+	wantOrder := []string{"norawrand", "noclock", "ctxloop", "nofloateq", "noprint", "errdrop"}
+	if len(all) != len(wantOrder) {
+		t.Fatalf("All() = %d analyzers, want %d", len(all), len(wantOrder))
+	}
+	for i, a := range all {
+		if a.Name != wantOrder[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, wantOrder[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s has no Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLoop enforces PR 2's cancellation contract: an exported ...Context
+// entry point that loops must actually observe its context, otherwise a
+// SIGINT in the CLIs (which all wire contexts) leaves a sweep grinding
+// to completion. A loop passes if it checks ctx.Err()/ctx.Done()
+// somewhere in its body, calls a same-package function that does (one
+// level down), or delegates to another ...Context function with the
+// context in hand — e.g. a per-size loop whose body calls
+// SolveContext(ctx, ...) cancels through the callee's own checks.
+var CtxLoop = &Analyzer{
+	Name:       "ctxloop",
+	Doc:        "exported ...Context functions must check ctx.Err/ctx.Done in every outermost loop (directly, via a checking callee, or by delegating to a ...Context callee)",
+	TestExempt: true,
+	Run:        runCtxLoop,
+}
+
+func runCtxLoop(p *Pass) {
+	// Map package functions to their bodies so "a callee one level
+	// down checks ctx" is resolvable.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() ||
+				!strings.HasSuffix(fd.Name.Name, "Context") || !hasCtxParam(p, fd) {
+				continue
+			}
+			for _, loop := range outermostLoops(fd.Body) {
+				if !loopObservesCtx(p, loop, decls) {
+					p.Reportf(loop.Pos(),
+						"loop in %s never checks ctx: add a ctx.Err() check (or delegate to a ...Context callee) so cancellation stays prompt", fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// hasCtxParam reports whether the declared function takes a
+// context.Context parameter.
+func hasCtxParam(p *Pass, fd *ast.FuncDecl) bool {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// outermostLoops returns the for/range statements in body that are not
+// nested inside another loop (an inner loop is the outer loop's
+// responsibility: one check per outermost iteration is the granularity
+// the solver and sweeps use). Function literals are skipped entirely —
+// a closure is its own function, run by whoever receives it (pool.Run
+// work items being the common case here), and that runner owns the
+// cancellation contract for it.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false // nested loops are covered by this one's check
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+// loopObservesCtx reports whether the loop's subtree satisfies the
+// cancellation contract.
+func loopObservesCtx(p *Pass, loop ast.Node, decls map[*types.Func]*ast.FuncDecl) bool {
+	if checksCtxDirect(p.Info, loop) {
+		return true
+	}
+	ok := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		obj := calleeObj(p.Info, call)
+		fn, isFn := obj.(*types.Func)
+		if !isFn {
+			return true
+		}
+		// Delegation: the callee is itself a ...Context function and
+		// the context is passed along; its own loops carry the checks
+		// (and are themselves linted if it lives in this module).
+		if strings.HasSuffix(fn.Name(), "Context") && callPassesCtx(p.Info, call) {
+			ok = true
+			return false
+		}
+		// One level down: a same-package callee whose body checks ctx.
+		if fd := decls[fn]; fd != nil && checksCtxDirect(p.Info, fd.Body) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// checksCtxDirect reports whether the subtree references .Err or .Done
+// on a context.Context value.
+func checksCtxDirect(info *types.Info, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+			return true
+		}
+		if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callPassesCtx reports whether any argument of the call is a
+// context.Context value.
+func callPassesCtx(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags statements that call a function whose only result is an
+// error and discard it implicitly. PR 2 made Explore keep sweeping past
+// failed candidates precisely because errors are accounted for, and the
+// flight recorder's journal is only crash-safe if write errors surface.
+// An implicitly dropped error is indistinguishable from a handled one at
+// the call site; write `_ = f()` if discarding is genuinely intended —
+// that is visible in review and greppable.
+var ErrDrop = &Analyzer{
+	Name:       "errdrop",
+	Doc:        "no bare statement calls that silently discard a sole error result outside tests; handle it or write _ =",
+	TestExempt: true,
+	Run:        runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[call]
+			if !ok || tv.Type == nil || !types.Identical(tv.Type, errType) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"result of %s is an error silently discarded: handle it or make the drop explicit with _ =", calleeLabel(p.Info, call))
+			return true
+		})
+	}
+}
+
+// calleeLabel names the called function for the message, falling back
+// to "call" for indirect calls.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeObj(info, call); obj != nil {
+		return obj.Name()
+	}
+	return "call"
+}

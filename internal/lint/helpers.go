@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeObj resolves a call expression to the object it invokes
+// (package-level function, method, or builtin), or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level (receiver-less)
+// function pkgPath.name. Methods on types from pkgPath do not match.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// pkgFuncName returns (name, true) when obj is any package-level
+// function of pkgPath.
+func pkgFuncName(obj types.Object, pkgPath string) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// underPathSubtree reports whether pkgPath is sub, sits below it, or
+// contains it as a full segment run ("internal/circuit" matches
+// "mnsim/internal/circuit" and "mnsim/internal/circuit/x", not
+// "mnsim/internal/circuitry").
+func underPathSubtree(pkgPath, sub string) bool {
+	return strings.Contains("/"+pkgPath+"/", "/"+sub+"/")
+}
+
+// inInternal reports whether the package sits under an internal/ tree.
+func inInternal(pkgPath string) bool {
+	return strings.Contains("/"+pkgPath+"/", "/internal/")
+}

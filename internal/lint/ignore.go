@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment. A directive
+// suppresses diagnostics from the named analyzer on its own line or the
+// line directly below — but only when a reason is given: unexplained
+// suppressions are themselves findings, because "we silenced the
+// determinism linter" is exactly the kind of decision that needs a
+// written why.
+type ignoreDirective struct {
+	pos    token.Position
+	name   string
+	reason string
+	used   bool
+}
+
+// collectIgnores scans a file's comments for //lint:ignore directives.
+func collectIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			d := &ignoreDirective{pos: fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				d.name = fields[0]
+			}
+			if len(fields) > 1 {
+				d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// metaAnalyzer is the analyzer name attached to diagnostics about the
+// suppression comments themselves; those are not suppressible.
+const metaAnalyzer = "lint"
+
+// applySuppressions drops diagnostics covered by a reasoned
+// //lint:ignore on the same or the preceding line, reports directives
+// with no name or no reason, and — under strict — reports directives
+// that suppressed nothing.
+func applySuppressions(diags []Diagnostic, ignores []*ignoreDirective, strict bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.name == d.Analyzer && ig.reason != "" &&
+				ig.pos.Filename == d.Pos.Filename &&
+				(ig.pos.Line == d.Pos.Line || ig.pos.Line == d.Pos.Line-1) {
+				ig.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, ig := range ignores {
+		switch {
+		case ig.name == "":
+			out = append(out, Diagnostic{
+				Pos:      ig.pos,
+				Analyzer: metaAnalyzer,
+				Message:  "malformed //lint:ignore: want //lint:ignore <analyzer> <reason>",
+			})
+		case ig.reason == "":
+			out = append(out, Diagnostic{
+				Pos:      ig.pos,
+				Analyzer: metaAnalyzer,
+				Message:  "//lint:ignore " + ig.name + " needs a reason: suppressions must say why the invariant is waived",
+			})
+		case strict && !ig.used:
+			out = append(out, Diagnostic{
+				Pos:      ig.pos,
+				Analyzer: metaAnalyzer,
+				Message:  "stale //lint:ignore " + ig.name + ": no " + ig.name + " diagnostic on this or the next line",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDiagnostic is the wire form of one finding in -json output.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes the diagnostics as one JSON document:
+// {"count": N, "diagnostics": [{file, line, col, analyzer, message}, ...]}.
+// The document is emitted even when there are zero findings so CI can
+// always upload it as an artifact.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := struct {
+		Count       int              `json:"count"`
+		Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	}{Diagnostics: []jsonDiagnostic{}}
+	for _, d := range r.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	out.Count = len(out.Diagnostics)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoFloatEq flags == / != between two runtime floating-point values in
+// non-test code. The simulator's headline numbers (Table II error rates,
+// DSE objective ties, Monte-Carlo percentiles) all ride on float math,
+// where a==b silently stops holding after any re-association — compare
+// with an explicit epsilon instead. Comparisons where either side is a
+// compile-time constant are allowed: checking a float against an exact
+// sentinel (zero pivot, unset field) is deliberate and well-defined in
+// IEEE-754, and the numerics code does it on purpose.
+var NoFloatEq = &Analyzer{
+	Name:       "nofloateq",
+	Doc:        "no ==/!= between two runtime floats outside tests; compare with an epsilon",
+	TestExempt: true,
+	Run:        runNoFloatEq,
+}
+
+func runNoFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.Info.Types[be.X]
+			yt, yok := p.Info.Types[be.Y]
+			if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return true // one side is an exact compile-time sentinel
+			}
+			p.Reportf(be.OpPos,
+				"floating-point %s between runtime values: use an epsilon comparison (math.Abs(a-b) <= tol) — exact float equality breaks under re-association", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoRawRand enforces PR 2's determinism contract: every random draw in
+// non-test code must flow through an injected *rand.Rand whose seed the
+// caller controls (MCOptions.Seed / the splitmix64 per-trial streams).
+// Package-level math/rand functions draw from the process-global
+// source, and seeding any source from the wall clock makes two runs of
+// the same sweep differ — both silently break the "parallel output is
+// bit-identical to sequential" guarantee and flight-recorder replay.
+var NoRawRand = &Analyzer{
+	Name:       "norawrand",
+	Doc:        "no math/rand top-level draws or wall-clock-seeded sources outside tests; inject a seeded *rand.Rand",
+	TestExempt: true,
+	Run:        runNoRawRand,
+}
+
+// randPkgs are the package paths whose top-level draw functions are
+// forbidden.
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// randConstructors build sources/generators rather than drawing
+// numbers; they are allowed. The seed-taking ones are still checked for
+// wall-clock seeding, which is just non-determinism one step removed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// randSeeded are the constructors that take the seed material directly.
+var randSeeded = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoRawRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(p.Info, call)
+			for _, pkg := range randPkgs {
+				name, ok := pkgFuncName(obj, pkg)
+				if !ok {
+					continue
+				}
+				if !randConstructors[name] {
+					p.Reportf(call.Pos(),
+						"%s.%s draws from the process-global source: draw through an injected *rand.Rand (seeded via MCOptions.Seed / splitmix64) so runs stay bit-identical", pkgBase(pkg), name)
+				} else if randSeeded[name] && argsReadClock(p, call) {
+					p.Reportf(call.Pos(),
+						"%s.%s seeded from the wall clock: derive seeds from a caller-supplied seed so runs stay reproducible", pkgBase(pkg), name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// argsReadClock reports whether any argument expression (transitively)
+// calls time.Now.
+func argsReadClock(p *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && isPkgFunc(calleeObj(p.Info, c), "time", "Now") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+func pkgBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+// TestSelfCheck holds the linter to its own rules: running the full
+// analyzer set (strict, tests included) over internal/lint and
+// cmd/mnsim-lint must produce zero diagnostics. A linter that needs its
+// own suppressions has lost the argument.
+func TestSelfCheck(t *testing.T) {
+	res, err := Run(Options{
+		Patterns: []string{".", "../../cmd/mnsim-lint"},
+		Tests:    true,
+		Strict:   true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("self-check finding: %s", d)
+	}
+}

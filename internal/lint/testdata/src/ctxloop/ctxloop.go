@@ -1,0 +1,124 @@
+// Package ctxloop is the fixture for the ctxloop analyzer: exported
+// ...Context functions must observe ctx in every outermost loop.
+package ctxloop
+
+import "context"
+
+// SweepContext loops without ever looking at ctx: flagged.
+func SweepContext(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `loop in SweepContext never checks ctx`
+		total += i
+	}
+	return total
+}
+
+// TwoLoopsContext checks ctx in the first loop but not the second; each
+// outermost loop is judged on its own.
+func TwoLoopsContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ { // want `loop in TwoLoopsContext never checks ctx`
+		_ = i
+	}
+	return nil
+}
+
+// DirectContext checks ctx.Err in the loop body: clean.
+func DirectContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DoneContext selects on ctx.Done: clean.
+func DoneContext(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// NestedContext keeps its check in the inner loop; the outermost loop
+// still observes ctx every iteration, so it is clean.
+func NestedContext(ctx context.Context, m, n int) error {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HelperContext delegates the check to a same-package callee one level
+// down: clean.
+func HelperContext(ctx context.Context, xs []int) error {
+	for range xs {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// DelegateContext hands ctx to another ...Context function, whose own
+// loops carry the checks: clean.
+func DelegateContext(ctx context.Context, xs []int) error {
+	for range xs {
+		if err := InnerContext(ctx, 4); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InnerContext is a checking ...Context callee.
+func InnerContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quietContext is unexported, so it is not an entry point the contract
+// covers.
+func quietContext(ctx context.Context, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}
+
+// LoopFreeContext has no loop, so there is nothing to check.
+func LoopFreeContext(ctx context.Context) error { return ctx.Err() }
+
+// ClosureContext only loops inside a function literal; the closure is
+// its own function, and whoever runs it (a worker pool, say) owns the
+// cancellation contract — so nothing is flagged here.
+func ClosureContext(ctx context.Context, xs []int) func() int {
+	return func() int {
+		t := 0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	}
+}

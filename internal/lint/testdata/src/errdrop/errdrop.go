@@ -1,0 +1,45 @@
+// Package errdrop is the fixture for the errdrop analyzer: a bare
+// statement call whose only result is an error silently discards it.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+type journal struct{}
+
+func (journal) Sync() error { return nil }
+
+// Drop discards work's sole error result implicitly: flagged.
+func Drop() {
+	work() // want `result of work is an error silently discarded`
+}
+
+// DropMethod does the same through a method call: flagged.
+func DropMethod(j journal) {
+	j.Sync() // want `result of Sync is an error silently discarded`
+}
+
+// Explicit makes the discard visible in review: allowed.
+func Explicit() {
+	_ = work()
+}
+
+// Handled consumes the error: allowed.
+func Handled() error {
+	if err := work(); err != nil {
+		return fmt.Errorf("handled: %w", err)
+	}
+	return nil
+}
+
+// Multi drops a multi-result call; go vet territory, not this
+// analyzer's (the error is not the sole result).
+func Multi() {
+	pair()
+}

@@ -1,0 +1,19 @@
+// Package noclock is the fixture for the noclock analyzer. Its import
+// path ends in internal/circuit, one of the clock-free subtrees, so
+// wall-clock reads here must be flagged.
+package noclock
+
+import "time"
+
+// Solve reads the wall clock twice; both reads are violations.
+func Solve() time.Duration {
+	start := time.Now()    // want `time\.Now in clock-free package`
+	d := time.Since(start) // want `time\.Since in clock-free package`
+	return d
+}
+
+// Scale does pure duration arithmetic: no clock read, no finding.
+func Scale(d time.Duration) time.Duration { return 2 * d }
+
+// Budget uses duration constants, which are equally clock-free.
+func Budget() time.Duration { return 50 * time.Millisecond }

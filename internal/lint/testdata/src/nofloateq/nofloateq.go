@@ -1,0 +1,40 @@
+// Package nofloateq is the fixture for the nofloateq analyzer: exact
+// equality between two runtime floats is flagged; comparisons against
+// compile-time sentinels are deliberate and allowed.
+package nofloateq
+
+import "math"
+
+// Equal compares two runtime float64 values exactly: flagged.
+func Equal(a, b float64) bool {
+	return a == b // want `floating-point == between runtime values`
+}
+
+// NotEqual compares two runtime float32 values exactly: flagged.
+func NotEqual(a, b float32) bool {
+	return a != b // want `floating-point != between runtime values`
+}
+
+// Sum compares a computed value against a runtime value: flagged.
+func Sum(a, b, c float64) bool {
+	return a+b == c // want `floating-point == between runtime values`
+}
+
+// IsZero checks a float against the exact sentinel zero (the LU pivot
+// test does this on purpose): allowed.
+func IsZero(x float64) bool { return x == 0 }
+
+// IsUnset compares against a named constant: allowed.
+func IsUnset(x float64) bool {
+	const unset = -1.0
+	return x == unset
+}
+
+// IntEq is an integer comparison: allowed.
+func IntEq(a, b int) bool { return a == b }
+
+// Close is the approved epsilon pattern.
+func Close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Ordered comparisons are fine; only ==/!= lose meaning to rounding.
+func Less(a, b float64) bool { return a < b }

@@ -1,0 +1,24 @@
+// Package noprint is the fixture for the noprint analyzer. Its import
+// path sits under internal/, so writing to process stdout is flagged.
+package noprint
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report writes to process stdout/stderr three forbidden ways.
+func Report(n int) {
+	fmt.Println("solved", n) // want `fmt\.Println writes to process stdout`
+	fmt.Printf("n=%d\n", n)  // want `fmt\.Printf writes to process stdout`
+	println("debug", n)      // want `builtin println writes to stderr`
+}
+
+// ReportTo prints to a caller-supplied writer: the caller chose the
+// sink, so this is allowed.
+func ReportTo(w io.Writer, n int) {
+	fmt.Fprintln(w, "solved", n)
+}
+
+// Label formats without printing: allowed.
+func Label(n int) string { return fmt.Sprintf("n=%d", n) }

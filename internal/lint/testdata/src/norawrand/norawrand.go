@@ -1,0 +1,34 @@
+// Package norawrand is the fixture for the norawrand analyzer: every
+// line carrying a `// want` comment must produce a matching diagnostic,
+// and every other line must stay silent.
+package norawrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw uses the forbidden process-global source.
+func Draw() (float64, int) {
+	f := rand.Float64()                // want `rand\.Float64 draws from the process-global source`
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return f, n
+}
+
+// ClockSeeded seeds a source from the wall clock, which is just
+// non-determinism one step removed.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+// Injected is the approved pattern: the generator arrives from the
+// caller, who owns the seed.
+func Injected(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+// Seeded constructs a source from a caller-controlled seed; allowed.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

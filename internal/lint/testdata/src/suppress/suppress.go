@@ -1,0 +1,26 @@
+// Package suppress is the fixture for //lint:ignore handling: a
+// reasoned suppression silences its diagnostic, a reason-less one is
+// itself reported (and silences nothing), and a suppression matching no
+// diagnostic is flagged under -strict.
+package suppress
+
+import "math/rand"
+
+// Reasoned is fully suppressed: no diagnostic survives.
+func Reasoned() float64 {
+	//lint:ignore norawrand fixture exercising a reasoned suppression
+	return rand.Float64()
+}
+
+// Reasonless keeps the norawrand diagnostic and adds a lint one about
+// the bare directive.
+func Reasonless() float64 {
+	//lint:ignore norawrand
+	return rand.Float64()
+}
+
+// Stale suppresses nothing; flagged only under -strict.
+func Stale() int {
+	//lint:ignore norawrand there is no randomness on the next line
+	return 4
+}

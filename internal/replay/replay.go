@@ -85,11 +85,13 @@ func replayDC(ctx context.Context, c *circuit.Crossbar, s *circuit.Snapshot, w i
 			return mismatch("VOut length %d, recorded %d", got, want)
 		}
 		for n, v := range res.VOut {
+			//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 			if v != s.Outcome.VOut[n] {
 				return mismatch("VOut[%d] = %v, recorded %v (Δ %g)",
 					n, v, s.Outcome.VOut[n], v-s.Outcome.VOut[n])
 			}
 		}
+		//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 		if res.Power != s.Outcome.Power {
 			return mismatch("Power = %v, recorded %v", res.Power, s.Outcome.Power)
 		}
@@ -112,6 +114,7 @@ func replayDC(ctx context.Context, c *circuit.Crossbar, s *circuit.Snapshot, w i
 		if de.Iters != s.Outcome.NewtonIters {
 			return mismatch("divergence after %d iters, recorded %d", de.Iters, s.Outcome.NewtonIters)
 		}
+		//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 		if jsonFinite(de.FinalResidual) != s.Outcome.FinalResidual {
 			return mismatch("final residual %v, recorded %v", de.FinalResidual, s.Outcome.FinalResidual)
 		}
@@ -120,6 +123,7 @@ func replayDC(ctx context.Context, c *circuit.Crossbar, s *circuit.Snapshot, w i
 				return mismatch("trajectory length %d, recorded %d", got, want)
 			}
 			for i, r := range de.Diag.Residuals {
+				//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 				if jsonFinite(r) != s.Outcome.Residuals[i] {
 					return mismatch("residual[%d] = %v, recorded %v", i, r, s.Outcome.Residuals[i])
 				}
@@ -136,6 +140,7 @@ func replayTransient(c *circuit.Crossbar, s *circuit.Snapshot, w io.Writer, verb
 		if err != nil {
 			return mismatch("recorded settle, re-run failed: %v", err)
 		}
+		//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 		if settle != s.Outcome.SettleSeconds {
 			return mismatch("settle %v s, recorded %v s", settle, s.Outcome.SettleSeconds)
 		}
@@ -153,6 +158,7 @@ func replayTransient(c *circuit.Crossbar, s *circuit.Snapshot, w io.Writer, verb
 		if ns.Steps != s.Outcome.Steps {
 			return mismatch("budget %d steps, recorded %d", ns.Steps, s.Outcome.Steps)
 		}
+		//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 		if jsonFinite(ns.LastMaxDV) != s.Outcome.LastMaxDV {
 			return mismatch("last max ΔV %v, recorded %v", ns.LastMaxDV, s.Outcome.LastMaxDV)
 		}

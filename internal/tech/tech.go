@@ -159,6 +159,7 @@ func InterconnectNodes() []int {
 // outside the table are rejected (extrapolating device physics is not
 // meaningful).
 func InterpolateNode(featureNM float64) (CMOSNode, error) {
+	//lint:ignore nofloateq exact integrality test: tabulated nodes must return their table entry bit-for-bit, never an interpolation
 	if n, ok := cmosNodes[int(featureNM)]; ok && featureNM == float64(int(featureNM)) {
 		return n, nil
 	}
@@ -189,6 +190,7 @@ func InterpolateNode(featureNM float64) (CMOSNode, error) {
 // InterpolateWire returns interconnect parameters between the tabulated
 // nodes by log-linear interpolation, mirroring InterpolateNode.
 func InterpolateWire(featureNM float64) (WireTech, error) {
+	//lint:ignore nofloateq exact integrality test: tabulated nodes must return their table entry bit-for-bit, never an interpolation
 	if w, ok := wireNodes[int(featureNM)]; ok && featureNM == float64(int(featureNM)) {
 		return w, nil
 	}

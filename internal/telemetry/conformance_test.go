@@ -116,7 +116,7 @@ func TestPrometheusExpositionConformance(t *testing.T) {
 	h := r.Histogram("mnsim_conf_latency_us", []float64{1, 10, 100})
 	h.Observe(0.5)
 	h.Observe(42)
-	h.Observe(1e6) // lands in +Inf
+	h.Observe(1e6)                          // lands in +Inf
 	r.Histogram("mnsim_conf_empty_us", nil) // zero observations
 
 	var sb strings.Builder

@@ -140,7 +140,7 @@ func (j *Journal) Open(path string) error {
 	}
 	j.mu.Lock()
 	if j.f != nil {
-		j.f.Close()
+		_ = j.f.Close() // replacing the handle; the old file's fate is not actionable
 	}
 	j.f = f
 	j.path = path
@@ -233,7 +233,7 @@ func (j *Journal) Emit(typ EventType, id string, data map[string]any) {
 		Log().Warn("journal write failed, continuing ring-only", "err", err)
 		j.mu.Lock()
 		if j.f == f {
-			j.f.Close()
+			_ = j.f.Close() // already degrading to ring-only after a failed write
 			j.f = nil
 		}
 		j.mu.Unlock()

@@ -117,7 +117,7 @@ func (l *Logger) log(lv Level, msg string, kv ...any) {
 	b.WriteString(" msg=")
 	b.WriteString(quoteValue(msg))
 	for i := 0; i < len(kv); i += 2 {
-		b.WriteByte(' ')
+		b.WriteString(" ")
 		if i+1 >= len(kv) {
 			// Odd trailing value: keep it visible rather than dropping it.
 			b.WriteString("!BADKEY=")
@@ -125,10 +125,10 @@ func (l *Logger) log(lv Level, msg string, kv ...any) {
 			break
 		}
 		b.WriteString(fmt.Sprint(kv[i]))
-		b.WriteByte('=')
+		b.WriteString("=")
 		b.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
 	}
-	b.WriteByte('\n')
+	b.WriteString("\n")
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	fmt.Fprint(l.w, b.String())

@@ -112,10 +112,10 @@ func (p *Phase) Finish() {
 
 // PhaseStatus is the exported snapshot of one phase.
 type PhaseStatus struct {
-	Name     string `json:"name"`
-	Total    int64  `json:"total"` // <= 0: unknown
-	Done     int64  `json:"done"`
-	Running  bool   `json:"running"`
+	Name     string  `json:"name"`
+	Total    int64   `json:"total"` // <= 0: unknown
+	Done     int64   `json:"done"`
+	Running  bool    `json:"running"`
 	Fraction float64 `json:"fraction"` // 0 when total unknown
 	// RatePerSec is the rolling completion rate over the last few seconds
 	// (falling back to the whole-phase average early on).

@@ -79,8 +79,8 @@ func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 	}
 	defer func() {
 		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
+			_ = tmp.Close()           // already failing; surface the original error
+			_ = os.Remove(tmp.Name()) // best-effort cleanup of the temp file
 		}
 	}()
 	if err = write(tmp); err != nil {

@@ -8,6 +8,7 @@ package validate
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -140,9 +141,7 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 	// the full RC grid.
 	rLat := randomResistances(opt.Size, opt.Size, dev, rng)
 	cLat := &circuit.Crossbar{M: opt.Size, N: opt.Size, R: rLat, WireR: wire.SegmentR, RSense: p.RSense, Dev: dev}
-	for i := range vin {
-		vin[i] = p.VDrive
-	}
+	fill(vin, p.VDrive)
 	rcSettle, err := cLat.SettleTime(vin, circuit.TransientOptions{NodeCap: wire.SegmentC, CellCap: dev.CellCap})
 	if err != nil {
 		return nil, fmt.Errorf("validate: transient: %w", err)
@@ -175,20 +174,30 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 		{"Average Relative Accuracy", modelAcc, circuitAcc},
 	}
 	if telemetry.JournalOn() {
-		worst := 0.0
-		for _, r := range rows {
-			if e := r.Error(); e > worst || -e > worst {
-				if e < 0 {
-					e = -e
-				}
-				worst = e
-			}
-		}
 		telemetry.EmitEvent(telemetry.EvPhase, "validate.table2", map[string]any{
-			"action": "summary", "rows": len(rows), "worst_rel_error": worst,
+			"action": "summary", "rows": len(rows), "worst_rel_error": worstAbsRowError(rows),
 		})
 	}
 	return rows, nil
+}
+
+// fill sets every element of vs to v.
+func fill(vs []float64, v float64) {
+	for i := range vs {
+		vs[i] = v
+	}
+}
+
+// worstAbsRowError returns the largest |relative error| across the
+// Table II rows.
+func worstAbsRowError(rows []Row) float64 {
+	worst := 0.0
+	for _, r := range rows {
+		if e := math.Abs(r.Error()); e > worst {
+			worst = e
+		}
+	}
+	return worst
 }
 
 // TableIII measures the simulation time of the circuit-level solver versus
@@ -226,23 +235,28 @@ func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, 
 		for i := range vin {
 			vin[i] = p.VDrive * rng.Float64()
 		}
-		start := time.Now()
+		// Both sides are timed through telemetry spans — the one layer
+		// allowed to read the wall clock — so the numerical packages stay
+		// clock-free and the per-size timings still land in the trace
+		// aggregates (validate.table3.circuit / validate.table3.model).
+		_, circuitSpan := telemetry.StartSpan(ctx, "validate.table3.circuit")
 		res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{})
+		circuitTime := circuitSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("validate: size %d: %w", size, err)
 		}
-		circuitTime := time.Since(start)
 
-		start = time.Now()
+		_, modelSpan := telemetry.StartSpan(ctx, "validate.table3.model")
 		// The behaviour-level "simulation" of the same crossbar: area,
 		// power, latency, and the accuracy estimate.
 		_ = p.Area()
 		_ = p.ComputePower()
 		_ = p.Latency()
 		if _, err := accuracy.Eval(p); err != nil {
+			modelSpan.End()
 			return nil, err
 		}
-		modelTime := time.Since(start)
+		modelTime := modelSpan.End()
 		if modelTime <= 0 {
 			modelTime = time.Nanosecond
 		}
@@ -256,17 +270,23 @@ func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, 
 		prog.Inc()
 	}
 	if telemetry.JournalOn() {
-		maxSpeedUp := 0.0
-		for _, r := range out {
-			if r.SpeedUp > maxSpeedUp {
-				maxSpeedUp = r.SpeedUp
-			}
-		}
 		telemetry.EmitEvent(telemetry.EvPhase, "validate.table3", map[string]any{
-			"action": "summary", "sizes": len(out), "max_speedup": maxSpeedUp,
+			"action": "summary", "sizes": len(out), "max_speedup": maxSpeedUp(out),
 		})
 	}
 	return out, nil
+}
+
+// maxSpeedUp returns the largest circuit/model speed-up across the
+// Table III rows.
+func maxSpeedUp(rows []SpeedRow) float64 {
+	m := 0.0
+	for _, r := range rows {
+		if r.SpeedUp > m {
+			m = r.SpeedUp
+		}
+	}
+	return m
 }
 
 // Fig5Point is one point of the error-rate fit experiment.
@@ -288,24 +308,14 @@ func Fig5(sizes, nodes []int) ([]Fig5Point, error) {
 // any worker count. Cancelling ctx aborts the in-flight solves.
 func Fig5Context(ctx context.Context, sizes, nodes []int, workers int) ([]Fig5Point, error) {
 	dev := device.RRAM()
-	type gridPoint struct {
-		size, node int
-		wire       tech.WireTech
-	}
-	points := make([]gridPoint, 0, len(nodes)*len(sizes))
-	for _, node := range nodes {
-		wire, err := tech.Interconnect(node)
-		if err != nil {
-			return nil, err
-		}
-		for _, size := range sizes {
-			points = append(points, gridPoint{size: size, node: node, wire: wire})
-		}
+	points, err := fig5Grid(sizes, nodes)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]Fig5Point, len(points))
 	prog := telemetry.StartPhase("validate.fig5", int64(len(points)))
 	defer prog.Finish()
-	err := pool.Run(ctx, len(points), workers, func(tctx context.Context, i int) error {
+	err = pool.Run(ctx, len(points), workers, func(tctx context.Context, i int) error {
 		defer prog.Inc()
 		size, node, wire := points[i].size, points[i].node, points[i].wire
 		p := crossbar.New(size, size, dev, wire)
@@ -341,17 +351,43 @@ func Fig5Context(ctx context.Context, sizes, nodes []int, workers int) ([]Fig5Po
 		return nil, err
 	}
 	if telemetry.JournalOn() {
-		worstGap := 0.0
-		for _, pt := range out {
-			if gap := pt.Model - pt.Circuit; gap > worstGap {
-				worstGap = gap
-			} else if -gap > worstGap {
-				worstGap = -gap
-			}
-		}
 		telemetry.EmitEvent(telemetry.EvPhase, "validate.fig5", map[string]any{
-			"action": "summary", "points": len(out), "worst_model_gap": worstGap,
+			"action": "summary", "points": len(out), "worst_model_gap": worstModelGap(out),
 		})
 	}
 	return out, nil
+}
+
+// fig5Cell is one (size, node) grid point of the Fig. 5 sweep.
+type fig5Cell struct {
+	size, node int
+	wire       tech.WireTech
+}
+
+// fig5Grid enumerates the sweep grid in the sequential output order,
+// resolving each interconnect node once.
+func fig5Grid(sizes, nodes []int) ([]fig5Cell, error) {
+	points := make([]fig5Cell, 0, len(nodes)*len(sizes))
+	for _, node := range nodes {
+		wire, err := tech.Interconnect(node)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sizes {
+			points = append(points, fig5Cell{size: size, node: node, wire: wire})
+		}
+	}
+	return points, nil
+}
+
+// worstModelGap returns the largest |model − circuit| gap across the
+// Fig. 5 points.
+func worstModelGap(points []Fig5Point) float64 {
+	worst := 0.0
+	for _, pt := range points {
+		if gap := math.Abs(pt.Model - pt.Circuit); gap > worst {
+			worst = gap
+		}
+	}
+	return worst
 }
