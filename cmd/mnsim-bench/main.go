@@ -1,0 +1,147 @@
+// Command mnsim-bench is the benchmark pipeline CLI over internal/bench.
+//
+//	go test -bench . -benchtime=1x -count=3 ./... | mnsim-bench json -out bench/BENCH_pr6.json
+//	mnsim-bench trend -out trend.json BENCH_*.json
+//	mnsim-bench gate -baseline BENCH_pr6.json -current fresh.json -tol 0.40 -metric-tol 0.02
+//
+// json converts `go test -bench` text output into the stable BENCH_*.json
+// document (median plus min/max/stddev per metric across -count runs).
+//
+// trend reads an ordered set of committed baselines and emits
+// per-benchmark time series, so a slow drift across PRs is visible even
+// when every individual gate passed.
+//
+// gate compares a fresh run against a committed baseline and exits
+// nonzero on regression: wall time is compared min-of-runs vs min-of-runs
+// with a generous tolerance (CI runners are noisy), deterministic metrics
+// (iteration counts, flops/op) with a tight one. A benchmark or metric
+// that vanishes from the current run also fails the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mnsim/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mnsim-bench:", err)
+		os.Exit(1)
+	}
+}
+
+var errRegression = fmt.Errorf("benchmark regression")
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mnsim-bench <json|trend|gate> [flags]")
+	}
+	switch args[0] {
+	case "json":
+		return runJSON(args[1:], stdin, stdout)
+	case "trend":
+		return runTrend(args[1:], stdout)
+	case "gate":
+		return runGate(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want json, trend, or gate)", args[0])
+	}
+}
+
+// writeJSON encodes v to the -out file, or to stdout when out is empty.
+func writeJSON(v any, out string, stdout io.Writer) (err error) {
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runJSON(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mnsim-bench json", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc, err := bench.Parse(stdin)
+	if err != nil {
+		return err
+	}
+	return writeJSON(doc, *out, stdout)
+}
+
+func runTrend(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mnsim-bench trend", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trend: no baseline files given")
+	}
+	entries, err := bench.LoadEntries(fs.Args())
+	if err != nil {
+		return err
+	}
+	return writeJSON(bench.Trend(entries), *out, stdout)
+}
+
+func runGate(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mnsim-bench gate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "committed baseline BENCH_*.json (required)")
+	current := fs.String("current", "", "fresh run document; \"-\" or empty parses `go test -bench` text from stdin")
+	tol := fs.Float64("tol", 0.40, "fractional ns/op slowdown tolerated (min-of-runs comparison)")
+	metricTol := fs.Float64("metric-tol", 0.02, "fractional increase tolerated on deterministic metrics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" {
+		return fmt.Errorf("gate: -baseline is required")
+	}
+	base, err := bench.Load(*baseline)
+	if err != nil {
+		return err
+	}
+	var cur *bench.Doc
+	if *current == "" || *current == "-" {
+		// Pipe `go test -bench` output straight into the gate.
+		cur, err = bench.Parse(stdin)
+	} else {
+		cur, err = bench.Load(*current)
+	}
+	if err != nil {
+		return err
+	}
+	deltas, regressions := bench.Gate(base, cur, bench.GateOptions{NsTol: *tol, MetricTol: *metricTol})
+	for _, d := range deltas {
+		switch {
+		case d.Regression:
+			fmt.Fprintf(stdout, "FAIL %s %s: %s\n", d.Bench, d.Unit, d.Reason)
+		case d.Ratio > 0:
+			fmt.Fprintf(stdout, "ok   %s %s: %.4g vs %.4g (x%.2f)\n", d.Bench, d.Unit, d.Cur, d.Base, d.Ratio)
+		default:
+			fmt.Fprintf(stdout, "ok   %s %s: %.4g vs %.4g\n", d.Bench, d.Unit, d.Cur, d.Base)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%w: %d of %d checks failed against %s", errRegression, regressions, len(deltas), *baseline)
+	}
+	fmt.Fprintf(stdout, "gate: %d checks passed against %s\n", len(deltas), *baseline)
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnsim/internal/bench"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+BenchmarkSolve/64x64-8	1	100000000 ns/op	1000 cg-iters/op
+BenchmarkSolve/64x64-8	1	 95000000 ns/op	1000 cg-iters/op
+BenchmarkSolve/64x64-8	1	120000000 ns/op	1000 cg-iters/op
+PASS
+`
+
+func writeBaseline(t *testing.T, path, text string) {
+	t.Helper()
+	doc, err := bench.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONSubcommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"json", "-out", out}, strings.NewReader(sampleOutput), nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := bench.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Find("BenchmarkSolve/64x64")
+	if b == nil || b.NsStat == nil || b.NsStat.Min != 95e6 {
+		t.Fatalf("json output lost stats: %+v", b)
+	}
+}
+
+func TestGateSubcommandPassAndFail(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_base.json")
+	writeBaseline(t, baseline, sampleOutput)
+
+	// Same run through stdin: passes.
+	var sb strings.Builder
+	if err := run([]string{"gate", "-baseline", baseline}, strings.NewReader(sampleOutput), &sb); err != nil {
+		t.Fatalf("clean gate failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "checks passed") {
+		t.Fatalf("gate report:\n%s", sb.String())
+	}
+
+	// Injected synthetic regression: 3x wall time and +10% cg iterations.
+	slow := strings.NewReader(`BenchmarkSolve/64x64-8	1	300000000 ns/op	1100 cg-iters/op` + "\n")
+	sb.Reset()
+	err := run([]string{"gate", "-baseline", baseline}, slow, &sb)
+	if err == nil {
+		t.Fatalf("regressed run passed the gate:\n%s", sb.String())
+	}
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("gate failed with the wrong error: %v", err)
+	}
+	if !strings.Contains(sb.String(), "FAIL BenchmarkSolve/64x64 ns/op") ||
+		!strings.Contains(sb.String(), "FAIL BenchmarkSolve/64x64 cg-iters/op") {
+		t.Fatalf("gate report misses the regressions:\n%s", sb.String())
+	}
+
+	// The same slow run passes with an explicit generous tolerance.
+	slow2 := strings.NewReader(`BenchmarkSolve/64x64-8	1	300000000 ns/op	1100 cg-iters/op` + "\n")
+	sb.Reset()
+	if err := run([]string{"gate", "-baseline", baseline, "-tol", "3.0", "-metric-tol", "0.2"}, slow2, &sb); err != nil {
+		t.Fatalf("wide tolerances still failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestTrendSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	b4 := filepath.Join(dir, "BENCH_pr4.json")
+	b6 := filepath.Join(dir, "BENCH_pr6.json")
+	writeBaseline(t, b4, "BenchmarkSolve/64x64-8\t1\t100000000 ns/op\n")
+	writeBaseline(t, b6, "BenchmarkSolve/64x64-8\t1\t90000000 ns/op\n")
+	out := filepath.Join(dir, "trend.json")
+	if err := run([]string{"trend", "-out", out, b6, b4}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var td bench.TrendDoc
+	if err := json.Unmarshal(data, &td); err != nil {
+		t.Fatalf("trend output not JSON: %v\n%s", err, data)
+	}
+	if len(td.Labels) != 2 || td.Labels[0] != "pr4" || td.Labels[1] != "pr6" {
+		t.Fatalf("labels = %v, want [pr4 pr6]", td.Labels)
+	}
+	if len(td.Series) != 1 || len(td.Series[0].Points) != 2 {
+		t.Fatalf("series = %+v", td.Series)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	if err := run(nil, nil, nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, nil, nil); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"gate"}, strings.NewReader(""), nil); err == nil {
+		t.Error("gate without -baseline accepted")
+	}
+	if err := run([]string{"trend"}, nil, nil); err == nil {
+		t.Error("trend without files accepted")
+	}
+}

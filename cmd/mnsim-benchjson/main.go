@@ -1,27 +1,34 @@
 // Command mnsim-benchjson converts `go test -bench` text output into a
 // stable JSON document for CI artifacts and in-repo baselines (e.g.
-// BENCH_pr4.json). It parses the standard benchmark line format including
-// custom b.ReportMetric units (newton-iters/op, cg-iters/op), aggregates
-// repeated -count runs per benchmark, and reports the median of every
-// metric so a single noisy run cannot skew the committed baseline.
+// BENCH_pr6.json). It is the original single-purpose front door to the
+// benchmark pipeline, kept for script compatibility; it is now a thin
+// wrapper over internal/bench and exactly equivalent to
+// `mnsim-bench json`, which also offers trend and gate subcommands.
 //
 // Usage:
 //
-//	go test -bench 'Solve|Explore' -benchtime=1x -count=3 ./... | mnsim-benchjson -out BENCH_pr4.json
+//	go test -bench 'Solve|Explore' -benchtime=1x -count=3 ./... | mnsim-benchjson -out BENCH_pr6.json
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"sort"
-	"strconv"
-	"strings"
+
+	"mnsim/internal/bench"
 )
+
+// Doc and Bench alias the pipeline document types; the JSON schema is
+// owned by internal/bench.
+type (
+	Doc   = bench.Doc
+	Bench = bench.Bench
+)
+
+// Parse reads `go test -bench` output and aggregates every benchmark line.
+func Parse(r io.Reader) (*Doc, error) { return bench.Parse(r) }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
@@ -54,119 +61,4 @@ func run(r io.Reader, defaultOut io.Writer, out string) (err error) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
-}
-
-// Bench is the aggregated result of one benchmark across its -count runs.
-type Bench struct {
-	Name string `json:"name"`
-	// Runs is how many result lines were aggregated (the -count value).
-	Runs int `json:"runs"`
-	// NsPerOp is the median ns/op across runs.
-	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics holds the median of every other reported unit keyed by its
-	// unit string, e.g. "newton-iters/op", "cg-iters/op", "B/op".
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Doc is the output document.
-type Doc struct {
-	GoOS       string  `json:"goos"`
-	GoArch     string  `json:"goarch"`
-	Benchmarks []Bench `json:"benchmarks"`
-}
-
-// sampleSet accumulates per-unit samples of one benchmark.
-type sampleSet struct {
-	name    string
-	byUnit  map[string][]float64
-	numRuns int
-}
-
-// Parse reads `go test -bench` output and aggregates every benchmark line.
-// Non-benchmark lines (goos/pkg headers, PASS, ok) are ignored.
-func Parse(r io.Reader) (*Doc, error) {
-	sets := map[string]*sampleSet{}
-	var order []string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// Name, iteration count, then (value, unit) pairs.
-		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
-			continue
-		}
-		name := trimProcSuffix(fields[0])
-		if _, err := strconv.Atoi(fields[1]); err != nil {
-			continue
-		}
-		set := sets[name]
-		if set == nil {
-			set = &sampleSet{name: name, byUnit: map[string][]float64{}}
-			sets[name] = set
-			order = append(order, name)
-		}
-		parsedAny := false
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
-			}
-			set.byUnit[fields[i+1]] = append(set.byUnit[fields[i+1]], v)
-			parsedAny = true
-		}
-		if parsedAny {
-			set.numRuns++
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(order) == 0 {
-		return nil, fmt.Errorf("benchjson: no benchmark lines in input")
-	}
-	doc := &Doc{GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
-	for _, name := range order {
-		set := sets[name]
-		b := Bench{Name: name, Runs: set.numRuns, Metrics: map[string]float64{}}
-		for unit, vals := range set.byUnit {
-			m := median(vals)
-			if unit == "ns/op" {
-				b.NsPerOp = m
-			} else {
-				b.Metrics[unit] = m
-			}
-		}
-		if len(b.Metrics) == 0 {
-			b.Metrics = nil
-		}
-		doc.Benchmarks = append(doc.Benchmarks, b)
-	}
-	return doc, nil
-}
-
-// trimProcSuffix strips the trailing GOMAXPROCS marker ("-8") go test
-// appends to benchmark names, so baselines compare across machines.
-func trimProcSuffix(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
-}
-
-func median(vals []float64) float64 {
-	s := append([]float64(nil), vals...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
 }

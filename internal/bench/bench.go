@@ -1,0 +1,219 @@
+// Package bench is the benchmark result pipeline: it parses `go test
+// -bench` text output into a stable JSON document (the committed
+// BENCH_*.json baselines), summarises repeated -count runs per metric
+// (median plus min/max/stddev spread), assembles per-benchmark time
+// series across a sequence of baselines (trend), and performs
+// noise-aware regression gating of a fresh run against a committed
+// baseline (gate).
+//
+// The package is pure — no clocks, no randomness, no printing — so every
+// derived document is a deterministic function of its inputs.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat summarises one metric's samples across a benchmark's -count runs.
+type Stat struct {
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Stddev is the population standard deviation across runs (zero for a
+	// single run): the spread signal the gate's noise reasoning keys off.
+	Stddev float64 `json:"stddev"`
+}
+
+// Bench is the aggregated result of one benchmark across its -count runs.
+// NsPerOp and Metrics carry the medians (the schema the first baselines
+// committed); NsStat and MetricStats add the full spread and are absent
+// from documents written before the stats schema, so readers treat them
+// as optional.
+type Bench struct {
+	Name string `json:"name"`
+	// Runs is how many result lines were aggregated (the -count value).
+	Runs int `json:"runs"`
+	// NsPerOp is the median ns/op across runs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// NsStat is the ns/op spread across runs.
+	NsStat *Stat `json:"ns_stat,omitempty"`
+	// Metrics holds the median of every other reported unit keyed by its
+	// unit string, e.g. "newton-iters/op", "cg-iters/op", "flops/op".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// MetricStats holds the spread of every unit in Metrics.
+	MetricStats map[string]Stat `json:"metric_stats,omitempty"`
+}
+
+// Doc is the benchmark document: what mnsim-bench json emits and what the
+// BENCH_*.json baselines contain.
+type Doc struct {
+	GoOS       string  `json:"goos"`
+	GoArch     string  `json:"goarch"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Find returns the benchmark with the given name, or nil.
+func (d *Doc) Find(name string) *Bench {
+	for i := range d.Benchmarks {
+		if d.Benchmarks[i].Name == name {
+			return &d.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// MinNs returns the fastest observed ns/op — the min-of-runs statistic the
+// gate compares, which is robust to one-sided scheduling noise (a run can
+// only be slowed down by interference, never sped up). Documents from the
+// pre-stats schema carry no spread; the median is the best available
+// stand-in there.
+func (b *Bench) MinNs() float64 {
+	if b.NsStat != nil {
+		return b.NsStat.Min
+	}
+	return b.NsPerOp
+}
+
+// sampleSet accumulates per-unit samples of one benchmark.
+type sampleSet struct {
+	name    string
+	byUnit  map[string][]float64
+	units   []string
+	numRuns int
+}
+
+// Parse reads `go test -bench` output and aggregates every benchmark line.
+// Non-benchmark lines (goos/pkg headers, PASS, ok) are ignored.
+func Parse(r io.Reader) (*Doc, error) {
+	sets := map[string]*sampleSet{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		set := sets[name]
+		if set == nil {
+			set = &sampleSet{name: name, byUnit: map[string][]float64{}}
+			sets[name] = set
+			order = append(order, name)
+		}
+		parsedAny := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad value %q in line %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if _, seen := set.byUnit[unit]; !seen {
+				set.units = append(set.units, unit)
+			}
+			set.byUnit[unit] = append(set.byUnit[unit], v)
+			parsedAny = true
+		}
+		if parsedAny {
+			set.numRuns++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark lines in input")
+	}
+	doc := &Doc{GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, name := range order {
+		set := sets[name]
+		b := Bench{Name: name, Runs: set.numRuns}
+		for _, unit := range set.units {
+			st := summarize(set.byUnit[unit])
+			if unit == "ns/op" {
+				b.NsPerOp = st.Median
+				b.NsStat = &st
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+				b.MetricStats = map[string]Stat{}
+			}
+			b.Metrics[unit] = st.Median
+			b.MetricStats[unit] = st
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, nil
+}
+
+// Load reads a benchmark document from a JSON file.
+func Load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("bench: %s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// trimProcSuffix strips the trailing GOMAXPROCS marker ("-8") go test
+// appends to benchmark names, so baselines compare across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// summarize computes the per-metric spread across runs.
+func summarize(vals []float64) Stat {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	st := Stat{Min: s[0], Max: s[n-1]}
+	if n%2 == 1 {
+		st.Median = s[n/2]
+	} else {
+		st.Median = (s[n/2-1] + s[n/2]) / 2
+	}
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, v := range s {
+		d := v - mean
+		variance += d * d
+	}
+	st.Stddev = math.Sqrt(variance / float64(n))
+	return st
+}

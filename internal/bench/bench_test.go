@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mnsim/internal/circuit
+cpu: Test CPU @ 2.00GHz
+BenchmarkSolve/16x16-8         	       1	  1200000 ns/op	        12.00 newton-iters/op	       345.0 cg-iters/op
+BenchmarkSolve/16x16-8         	       1	  1100000 ns/op	        12.00 newton-iters/op	       340.0 cg-iters/op
+BenchmarkSolve/16x16-8         	       1	  1300000 ns/op	        12.00 newton-iters/op	       350.0 cg-iters/op
+BenchmarkSolve/64x64-8         	       1	  9000000 ns/op	        14.00 newton-iters/op	       900.0 cg-iters/op
+PASS
+ok  	mnsim/internal/circuit	0.123s
+pkg: mnsim/internal/dse
+BenchmarkExplore/workers=4-8   	       1	  5000000 ns/op
+PASS
+ok  	mnsim/internal/dse	0.456s
+`
+
+func TestParseStats(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkSolve/16x16" || b.Runs != 3 {
+		t.Fatalf("header parsed wrong: %+v", b)
+	}
+	if b.NsPerOp != 1.2e6 {
+		t.Errorf("ns/op median = %g, want 1.2e6", b.NsPerOp)
+	}
+	if b.NsStat == nil {
+		t.Fatal("no ns/op spread")
+	}
+	if b.NsStat.Min != 1.1e6 || b.NsStat.Max != 1.3e6 {
+		t.Errorf("ns spread = %+v, want min 1.1e6 max 1.3e6", b.NsStat)
+	}
+	// Samples 1.1e6/1.2e6/1.3e6: population stddev = sqrt(2/3)·1e5.
+	if want := math.Sqrt(2.0/3.0) * 1e5; math.Abs(b.NsStat.Stddev-want) > 1e-6*want {
+		t.Errorf("ns stddev = %g, want %g", b.NsStat.Stddev, want)
+	}
+	cg := b.MetricStats["cg-iters/op"]
+	if cg.Median != 345 || cg.Min != 340 || cg.Max != 350 {
+		t.Errorf("cg-iters spread = %+v", cg)
+	}
+	// A deterministic metric has zero spread.
+	if nw := b.MetricStats["newton-iters/op"]; nw.Stddev != 0 || nw.Min != nw.Max {
+		t.Errorf("newton-iters spread = %+v, want degenerate", nw)
+	}
+	// Single-run benchmark: spread collapses to the one sample.
+	e := doc.Benchmarks[2]
+	if e.NsStat == nil || e.NsStat.Min != 5e6 || e.NsStat.Stddev != 0 {
+		t.Errorf("single-run spread = %+v", e.NsStat)
+	}
+	if e.Metrics != nil || e.MetricStats != nil {
+		t.Errorf("metric-less bench grew metrics: %+v", e)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  pkg 0.1s\n")); err == nil {
+		t.Error("input without benchmark lines accepted")
+	}
+}
+
+func sampleDoc() *Doc {
+	return &Doc{
+		GoOS: "linux", GoArch: "amd64",
+		Benchmarks: []Bench{
+			{
+				Name: "BenchmarkSolve/64x64", Runs: 3, NsPerOp: 100e6,
+				NsStat:  &Stat{Median: 100e6, Min: 95e6, Max: 120e6, Stddev: 10e6},
+				Metrics: map[string]float64{"cg-iters/op": 1000, "flops/op": 5e8},
+			},
+			{
+				Name: "BenchmarkExplore/workers=4", Runs: 3, NsPerOp: 2e6,
+				NsStat: &Stat{Median: 2e6, Min: 1.9e6, Max: 2.2e6, Stddev: 1e5},
+			},
+		},
+	}
+}
+
+// The gate's core contract: clean runs pass, injected regressions fail.
+func TestGateSyntheticRegression(t *testing.T) {
+	base := sampleDoc()
+
+	// Identical run: no regressions.
+	if deltas, n := Gate(base, sampleDoc(), GateOptions{}); n != 0 {
+		t.Fatalf("identical run regressed %d times: %+v", n, deltas)
+	}
+
+	// Wall-time noise inside tolerance: min-of-runs 95e6 → 120e6 is +26%,
+	// under the 40% default.
+	noisy := sampleDoc()
+	noisy.Benchmarks[0].NsStat = &Stat{Median: 125e6, Min: 120e6, Max: 140e6, Stddev: 9e6}
+	if deltas, n := Gate(base, noisy, GateOptions{}); n != 0 {
+		t.Fatalf("in-tolerance noise regressed: %+v", deltas)
+	}
+
+	// Synthetic wall-time regression: min-of-runs doubles.
+	slow := sampleDoc()
+	slow.Benchmarks[0].NsStat = &Stat{Median: 200e6, Min: 190e6, Max: 220e6, Stddev: 10e6}
+	deltas, n := Gate(base, slow, GateOptions{})
+	if n != 1 {
+		t.Fatalf("2x slowdown: %d regressions, want 1: %+v", n, deltas)
+	}
+	var hit *Delta
+	for i := range deltas {
+		if deltas[i].Regression {
+			hit = &deltas[i]
+		}
+	}
+	if hit == nil || hit.Unit != "ns/op" || hit.Ratio < 1.9 {
+		t.Fatalf("wrong regression flagged: %+v", hit)
+	}
+
+	// Synthetic deterministic-metric regression: +5% cg iterations trips
+	// the tight 2% default even though wall time is unchanged.
+	drift := sampleDoc()
+	drift.Benchmarks[0].Metrics["cg-iters/op"] = 1050
+	if _, n := Gate(base, drift, GateOptions{}); n != 1 {
+		t.Fatalf("5%% metric drift: %d regressions, want 1", n)
+	}
+
+	// Improvements never fail the gate.
+	fast := sampleDoc()
+	fast.Benchmarks[0].NsStat.Min = 50e6
+	fast.Benchmarks[0].Metrics["cg-iters/op"] = 900
+	if deltas, n := Gate(base, fast, GateOptions{}); n != 0 {
+		t.Fatalf("improvement regressed: %+v", deltas)
+	}
+
+	// A benchmark vanishing from the run is a regression.
+	missing := sampleDoc()
+	missing.Benchmarks = missing.Benchmarks[:1]
+	if _, n := Gate(base, missing, GateOptions{}); n != 1 {
+		t.Fatalf("missing benchmark: %d regressions, want 1", n)
+	}
+
+	// So is a vanished metric.
+	nometric := sampleDoc()
+	delete(nometric.Benchmarks[0].Metrics, "flops/op")
+	if _, n := Gate(base, nometric, GateOptions{}); n != 1 {
+		t.Fatalf("missing metric: %d regressions, want 1", n)
+	}
+
+	// Custom tolerances are respected: 10% metric headroom passes the 5%
+	// drift that the default fails.
+	if _, n := Gate(base, drift, GateOptions{MetricTol: 0.10}); n != 0 {
+		t.Fatal("10% metric tolerance still failed a 5% drift")
+	}
+}
+
+// Pre-stats baselines (no ns_stat) gate on the median via MinNs fallback.
+func TestGatePreStatsBaseline(t *testing.T) {
+	base := sampleDoc()
+	base.Benchmarks[0].NsStat = nil
+	cur := sampleDoc()
+	if deltas, n := Gate(base, cur, GateOptions{}); n != 0 {
+		t.Fatalf("pre-stats baseline regressed: %+v", deltas)
+	}
+	if base.Benchmarks[0].MinNs() != 100e6 {
+		t.Fatalf("MinNs fallback = %g, want median", base.Benchmarks[0].MinNs())
+	}
+}
+
+func writeDoc(t *testing.T, dir, name, benchName string, ns float64) string {
+	t.Helper()
+	doc := &Doc{GoOS: "linux", GoArch: "amd64", Benchmarks: []Bench{
+		{Name: benchName, Runs: 1, NsPerOp: ns, Metrics: map[string]float64{"cg-iters/op": ns / 1000}},
+	}}
+	p := filepath.Join(dir, name)
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTrendOrderingAndSeries(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of order, with a two-digit PR to defeat lexical sorting.
+	p10 := writeDoc(t, dir, "BENCH_pr10.json", "BenchmarkSolve/64x64", 3e6)
+	p4 := writeDoc(t, dir, "BENCH_pr4.json", "BenchmarkSolve/64x64", 1e6)
+	p6 := writeDoc(t, dir, "BENCH_pr6.json", "BenchmarkSolve/64x64", 2e6)
+	entries, err := LoadEntries([]string{p10, p4, p6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := Trend(entries)
+	if got, want := strings.Join(td.Labels, ","), "pr4,pr6,pr10"; got != want {
+		t.Fatalf("label order %q, want %q", got, want)
+	}
+	if len(td.Series) != 1 {
+		t.Fatalf("series = %+v, want 1", td.Series)
+	}
+	s := td.Series[0]
+	if s.Name != "BenchmarkSolve/64x64" || len(s.Points) != 3 {
+		t.Fatalf("series shape: %+v", s)
+	}
+	for i, want := range []float64{1e6, 2e6, 3e6} {
+		if s.Points[i].NsPerOp != want {
+			t.Errorf("point %d ns = %g, want %g", i, s.Points[i].NsPerOp, want)
+		}
+	}
+	if s.Points[0].Metrics["cg-iters/op"] != 1000 {
+		t.Errorf("point metrics lost: %+v", s.Points[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"goos":"linux","goarch":"amd64"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("benchmark-less document accepted")
+	}
+}

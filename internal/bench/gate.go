@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateOptions tunes the regression gate.
+type GateOptions struct {
+	// NsTol is the fractional slowdown tolerated on ns/op before it counts
+	// as a regression. Wall time is compared min-of-runs against
+	// min-of-runs: interference only ever slows a run down, so the minimum
+	// is the least noisy estimate either side has, and the tolerance
+	// absorbs the machine-to-machine spread that remains. Default 0.40 —
+	// generous, because a shared CI runner is not a benchmarking rig.
+	NsTol float64
+	// MetricTol is the fractional increase tolerated on every other metric
+	// (newton-iters/op, cg-iters/op, flops/op, B/op, ...). These are
+	// deterministic in this codebase, so the default is tight: 0.02.
+	MetricTol float64
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.NsTol <= 0 {
+		o.NsTol = 0.40
+	}
+	if o.MetricTol <= 0 {
+		o.MetricTol = 0.02
+	}
+	return o
+}
+
+// Delta is one gate comparison: a benchmark metric in the current run
+// against the committed baseline.
+type Delta struct {
+	Bench string  `json:"bench"`
+	Unit  string  `json:"unit"`
+	Base  float64 `json:"base"`
+	Cur   float64 `json:"cur"`
+	// Ratio is cur/base (0 when the baseline value is 0).
+	Ratio float64 `json:"ratio"`
+	// Regression marks a tolerance-exceeding increase, or a benchmark that
+	// disappeared from the current run.
+	Regression bool `json:"regression,omitempty"`
+	// Reason is the human-readable verdict for regressions.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Gate compares a current benchmark run against a baseline and returns
+// every per-metric delta plus the number of regressions. Every benchmark
+// in the baseline must be present in the current run — a vanished
+// benchmark is itself a regression (a gate that silently stops measuring
+// is worse than a slow one). Benchmarks only present in the current run
+// are ignored: they are new coverage, gated once committed.
+func Gate(base, cur *Doc, opt GateOptions) (deltas []Delta, regressions int) {
+	opt = opt.withDefaults()
+	for _, bb := range base.Benchmarks {
+		cb := cur.Find(bb.Name)
+		if cb == nil {
+			deltas = append(deltas, Delta{
+				Bench: bb.Name, Regression: true,
+				Reason: "benchmark missing from current run",
+			})
+			regressions++
+			continue
+		}
+		d := compare(bb.Name, "ns/op", bb.MinNs(), cb.MinNs(), opt.NsTol)
+		if d.Regression {
+			regressions++
+		}
+		deltas = append(deltas, d)
+		for _, unit := range sortedKeys(bb.Metrics) {
+			cv, ok := cb.Metrics[unit]
+			if !ok {
+				deltas = append(deltas, Delta{
+					Bench: bb.Name, Unit: unit, Base: bb.Metrics[unit], Regression: true,
+					Reason: "metric missing from current run",
+				})
+				regressions++
+				continue
+			}
+			d := compare(bb.Name, unit, bb.Metrics[unit], cv, opt.MetricTol)
+			if d.Regression {
+				regressions++
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas, regressions
+}
+
+// compare judges one metric: only increases beyond tolerance regress — a
+// decrease is an improvement, recorded in the delta but never failed on.
+func compare(name, unit string, base, cur, tol float64) Delta {
+	d := Delta{Bench: name, Unit: unit, Base: base, Cur: cur}
+	if base > 0 {
+		d.Ratio = cur / base
+	}
+	if cur > base*(1+tol) {
+		d.Regression = true
+		d.Reason = fmt.Sprintf("%.4g exceeds baseline %.4g by more than %g%%", cur, base, tol*100)
+	}
+	return d
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

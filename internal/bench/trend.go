@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TrendPoint is one baseline's value of one benchmark.
+type TrendPoint struct {
+	// Label identifies the baseline, e.g. "pr4" for BENCH_pr4.json.
+	Label   string  `json:"label"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// MinNs is the fastest run where the baseline recorded a spread
+	// (equal to NsPerOp for pre-stats baselines).
+	MinNs   float64            `json:"min_ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// TrendSeries is one benchmark's trajectory across baselines.
+type TrendSeries struct {
+	Name   string       `json:"name"`
+	Points []TrendPoint `json:"points"`
+}
+
+// TrendDoc is the mnsim-bench trend output: per-benchmark time series
+// over an ordered sequence of committed baselines.
+type TrendDoc struct {
+	// Labels lists the baselines in series order.
+	Labels []string      `json:"labels"`
+	Series []TrendSeries `json:"series"`
+}
+
+// Entry pairs a baseline document with its label.
+type Entry struct {
+	Label string
+	Doc   *Doc
+}
+
+// LoadEntries loads baseline files into labelled entries ordered for
+// trending: labels derive from file names ("bench/BENCH_pr4.json" →
+// "pr4") and sort by any trailing integer so pr10 follows pr9 rather
+// than pr1 (lexical order is the tie-break for unnumbered labels).
+func LoadEntries(paths []string) ([]Entry, error) {
+	entries := make([]Entry, 0, len(paths))
+	for _, p := range paths {
+		doc, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{Label: labelOf(p), Doc: doc})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		ni, iok := trailingInt(entries[i].Label)
+		nj, jok := trailingInt(entries[j].Label)
+		if iok && jok && ni != nj {
+			return ni < nj
+		}
+		return entries[i].Label < entries[j].Label
+	})
+	return entries, nil
+}
+
+// Trend assembles per-benchmark series across the entries, which are
+// taken in the order given (LoadEntries orders them). Benchmarks appear
+// in first-seen order; baselines missing a benchmark simply contribute no
+// point, so series lengths record when coverage began and ended.
+func Trend(entries []Entry) *TrendDoc {
+	out := &TrendDoc{}
+	idx := map[string]int{}
+	for _, e := range entries {
+		out.Labels = append(out.Labels, e.Label)
+		for _, b := range e.Doc.Benchmarks {
+			i, ok := idx[b.Name]
+			if !ok {
+				i = len(out.Series)
+				idx[b.Name] = i
+				out.Series = append(out.Series, TrendSeries{Name: b.Name})
+			}
+			out.Series[i].Points = append(out.Series[i].Points, TrendPoint{
+				Label:   e.Label,
+				NsPerOp: b.NsPerOp,
+				MinNs:   b.MinNs(),
+				Metrics: b.Metrics,
+			})
+		}
+	}
+	return out
+}
+
+// labelOf derives a short baseline label from a file path:
+// "bench/BENCH_pr4.json" → "pr4"; unrecognised names keep their stem.
+func labelOf(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	return strings.TrimPrefix(base, "BENCH_")
+}
+
+// trailingInt extracts the integer suffix of a label ("pr12" → 12).
+func trailingInt(s string) (int, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[i:])
+	return n, err == nil
+}

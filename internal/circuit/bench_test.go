@@ -28,17 +28,61 @@ func BenchmarkSolve(b *testing.B) {
 			for i := range vin {
 				vin[i] = 2 * dev.ReadVoltage * rng.Float64()
 			}
-			var newton, cg int
+			var newton, cg, flops int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := c.Solve(vin, SolveOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				newton += res.NewtonIters
-				cg += res.CGIters
+				newton += int64(res.NewtonIters)
+				cg += int64(res.CGIters)
+				flops += res.Diag.Cost.Total().Flops
 			}
 			b.ReportMetric(float64(newton)/float64(b.N), "newton-iters/op")
+			b.ReportMetric(float64(cg)/float64(b.N), "cg-iters/op")
+			b.ReportMetric(float64(flops)/float64(b.N), "flops/op")
+		})
+	}
+}
+
+// BenchmarkSolveAccounting isolates the cost-accounting overhead at the
+// largest BenchmarkSolve size: the on/off pair bounds what the always-on
+// attribution costs (the acceptance budget is 5% on ns/op — in practice
+// nil-receiver count methods on int64 fields disappear into the CG
+// memory traffic).
+func BenchmarkSolveAccounting(b *testing.B) {
+	const size = 64
+	for _, bc := range []struct {
+		name string
+		opt  SolveOptions
+	}{
+		{"on", SolveOptions{}},
+		{"off", SolveOptions{NoCostAccounting: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dev := device.RRAM()
+			rng := rand.New(rand.NewSource(1))
+			c := &Crossbar{
+				M: size, N: size,
+				R:      randomR(size, size, dev, rng),
+				WireR:  2.5,
+				RSense: 1e3,
+				Dev:    dev,
+			}
+			vin := make([]float64, size)
+			for i := range vin {
+				vin[i] = 2 * dev.ReadVoltage * rng.Float64()
+			}
+			var cg int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Solve(vin, bc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cg += int64(res.CGIters)
+			}
 			b.ReportMetric(float64(cg)/float64(b.N), "cg-iters/op")
 		})
 	}

@@ -40,6 +40,26 @@ var (
 	telZeroWireSolve = telemetry.GetCounter("mnsim_circuit_zero_wire_solves_total")
 )
 
+// Cost-attribution telemetry: process-wide flop/byte totals plus per-solve
+// per-phase flop histograms, so /metrics answers "where does solve cost go"
+// without a journal.
+var (
+	telSolveFlops    = telemetry.GetCounter("mnsim_solve_flops_total")
+	telSolveBytes    = telemetry.GetCounter("mnsim_solve_bytes_total")
+	telPhaseAssembly = telemetry.GetHistogram("mnsim_circuit_phase_assembly_flops", telemetry.ExponentialBuckets(1024, 4, 14))
+	telPhaseNewton   = telemetry.GetHistogram("mnsim_circuit_phase_newton_update_flops", telemetry.ExponentialBuckets(1024, 4, 14))
+	telPhaseCG       = telemetry.GetHistogram("mnsim_circuit_phase_cg_flops", telemetry.ExponentialBuckets(1024, 4, 14))
+	telPhaseDiag     = telemetry.GetHistogram("mnsim_circuit_phase_diagnostics_flops", telemetry.ExponentialBuckets(1024, 4, 14))
+)
+
+// deviceEvalFlops is the modeled flop cost of one transcendental device
+// I–V evaluation (a sinh/cosh pair plus scaling); the exact kernel counts
+// elsewhere in the cost model are unaffected by this constant.
+const deviceEvalFlops = 8
+
+// coordBytes is the size of one linalg.Coord (two ints + one float64).
+const coordBytes = 24
+
 // Crossbar describes one crossbar instance to simulate at circuit level.
 type Crossbar struct {
 	// M is the number of rows (inputs), N the number of columns (outputs).
@@ -131,7 +151,10 @@ func (c *Crossbar) wireG() float64 {
 //
 // solved by bisection (the left side is strictly decreasing in V_n, the
 // right side strictly increasing, so the root is unique).
-func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64) (*Result, error) {
+//
+// Cost attribution: the bisection loop is this path's inner solver, so its
+// modeled device-evaluation cost lands in CostModel.CGLoop.
+func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64, cost *CostModel) (*Result, error) {
 	res := &Result{
 		VOut:        make([]float64, c.N),
 		NodeV:       make([]float64, 2*c.M*c.N),
@@ -174,6 +197,9 @@ func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64) (*Result, e
 				hi = mid
 			}
 		}
+		// 100 bisection steps, each evaluating M device currents plus the
+		// sense-resistor term.
+		cost.cgLoop().CountFlops(100 * (int64(c.M)*(deviceEvalFlops+2) + 3))
 		v := (lo + hi) / 2
 		res.VOut[n] = v
 		for m := 0; m < c.M; m++ {
@@ -187,6 +213,7 @@ func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64) (*Result, e
 		}
 		res.Power += vin[m] * rowI
 	}
+	cost.cgLoop().CountFlops(int64(c.M) * int64(c.N) * (deviceEvalFlops + 3))
 	return res, nil
 }
 
@@ -200,7 +227,7 @@ type assembly struct {
 	srcG    float64
 }
 
-func (c *Crossbar) assemble(vin []float64) (*assembly, error) {
+func (c *Crossbar) assemble(vin []float64, ops *linalg.OpCount) (*assembly, error) {
 	n2 := 2 * c.M * c.N
 	a := &assembly{rhsBase: make([]float64, n2), srcG: c.wireG()}
 	gw := c.wireG()
@@ -252,13 +279,18 @@ func (c *Crossbar) assemble(vin []float64) (*assembly, error) {
 		return nil, err
 	}
 	a.mat = mat
+	// Modeled assembly cost: one conductance inversion per cell, the
+	// triplet stream written once and scanned twice by the sort-and-merge
+	// CSR build, and the CSR arrays written once.
+	ops.CountFlops(int64(c.M) * int64(c.N))
+	ops.CountBytes(3*coordBytes*int64(len(a.trips)) + 16*int64(len(mat.Vals)))
 	return a, nil
 }
 
 // restamp rewrites the memristor companion-model conductances for the
 // current voltage estimate and returns the full right-hand side (source
 // terms plus Newton equivalent current sources).
-func (c *Crossbar) restamp(a *assembly, v []float64) []float64 {
+func (c *Crossbar) restamp(a *assembly, v []float64, ops *linalg.OpCount) []float64 {
 	rhs := make([]float64, len(a.rhsBase))
 	copy(rhs, a.rhsBase)
 	for m := 0; m < c.M; m++ {
@@ -276,6 +308,13 @@ func (c *Crossbar) restamp(a *assembly, v []float64) []float64 {
 			rhs[j] += ieq
 		}
 	}
+	// Modeled stamping cost: per cell, two transcendental device
+	// evaluations plus five arithmetic ops; traffic is the four triplet
+	// writes, two node-voltage reads, and two RHS updates, plus the RHS
+	// base copy.
+	cells := int64(c.M) * int64(c.N)
+	ops.CountFlops(cells * (2*deviceEvalFlops + 5))
+	ops.CountBytes(cells*(4*coordBytes+48) + 16*int64(len(rhs)))
 	return rhs
 }
 
@@ -294,6 +333,11 @@ type SolveOptions struct {
 	// runs on divergence. The convergence trajectory itself is recorded
 	// regardless — this only gates the extra eigenvalue work.
 	Diagnostics bool `json:"diagnostics,omitempty"`
+	// NoCostAccounting disables the per-phase operation cost model
+	// (Diagnostics.Cost). Accounting is on by default: it is pure integer
+	// counting, costs a few percent at most, and is observational only —
+	// solve outputs are bit-identical either way (asserted in tests).
+	NoCostAccounting bool `json:"no_cost_accounting,omitempty"`
 }
 
 // ErrNewtonDiverged is the sentinel a failed Newton solve matches with
@@ -321,6 +365,15 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			telNewtonIters.Observe(float64(res.NewtonIters))
 			telCGIters.Observe(float64(res.CGIters))
 		}
+		if d := diagOf(res, err); d != nil && d.Cost != nil {
+			total := d.Cost.Total()
+			telSolveFlops.Add(total.Flops)
+			telSolveBytes.Add(total.Bytes)
+			telPhaseAssembly.Observe(float64(d.Cost.Assembly.Flops))
+			telPhaseNewton.Observe(float64(d.Cost.NewtonUpdate.Flops))
+			telPhaseCG.Observe(float64(d.Cost.CGLoop.Flops))
+			telPhaseDiag.Observe(float64(d.Cost.Diagnostics.Flops))
+		}
 	}()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -343,6 +396,12 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("circuit: solve aborted: %w", err)
 	}
+	// Cost accounting is on unless opted out: a nil model threads nil
+	// accumulators through every kernel, which is the off switch.
+	var cost *CostModel
+	if !opt.NoCostAccounting {
+		cost = &CostModel{}
+	}
 	// Flight recorder: a correlation id ties this solve's journal events
 	// together; the solve_end event is deferred so every exit path —
 	// success, divergence, CG failure, cancellation — is recorded.
@@ -360,6 +419,16 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 				data["newton_iters"] = res.NewtonIters
 				data["cg_iters"] = res.CGIters
 			}
+			if d := diagOf(res, err); d != nil {
+				if d.Cost != nil {
+					data["cost"] = d.Cost
+					data["flops"] = d.Cost.Total().Flops
+				}
+				if d.Convergence != nil {
+					data["decay_rate"] = d.Convergence.DecayRate
+					data["stagnated"] = d.Convergence.Stagnated
+				}
+			}
 			if err != nil {
 				data["err"] = err.Error()
 			}
@@ -371,23 +440,23 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	}
 	if c.WireR == 0 {
 		telZeroWireSolve.Inc()
-		res, err = c.solveZeroWire(ctx, vin)
+		res, err = c.solveZeroWire(ctx, vin, cost)
 		if res != nil {
-			res.Diag = &Diagnostics{Path: "zero-wire-bisection"}
+			res.Diag = &Diagnostics{Path: "zero-wire-bisection", Cost: cost}
 		}
 		return res, err
 	}
-	a, err := c.assemble(vin)
+	a, err := c.assemble(vin, cost.assembly())
 	if err != nil {
 		return nil, err
 	}
-	diag := &Diagnostics{Path: "newton-cg"}
+	diag := &Diagnostics{Path: "newton-cg", Cost: cost}
 	if c.Linear {
 		diag.Path = "linear-cg"
 	}
 	res = &Result{}
 	// Initial linear solve at calibrated resistances.
-	v, it, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: opt.CGTol})
+	v, it, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop()})
 	if err != nil {
 		return nil, fmt.Errorf("circuit: linear solve: %w", err)
 	}
@@ -399,11 +468,12 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("circuit: Newton iteration aborted: %w", err)
 			}
-			rhs := c.restamp(a, v)
+			rhs := c.restamp(a, v, cost.newtonUpdate())
 			if err := a.mat.UpdateValues(a.trips); err != nil {
 				return nil, err
 			}
-			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol})
+			cost.newtonUpdate().CountBytes(8*int64(len(a.mat.Vals)) + 16*int64(len(a.trips)))
+			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop()})
 			if err != nil {
 				return nil, fmt.Errorf("circuit: Newton linear solve: %w", err)
 			}
@@ -415,6 +485,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 					delta = d
 				}
 			}
+			cost.newtonUpdate().CountVecOp(len(v), 2) // ΔV convergence scan
 			v = vNew
 			diag.Residuals = append(diag.Residuals, delta)
 			diag.CGIters = append(diag.CGIters, it)
@@ -428,7 +499,8 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			}
 			if iter == opt.MaxNewton-1 {
 				telDiverged.Inc()
-				diag.CondEstimate = jsonFinite(linalg.EstimateCond(a.mat))
+				diag.CondEstimate = jsonFinite(linalg.EstimateCondOps(a.mat, cost.diagnostics()))
+				diag.analyze()
 				derr := &DivergenceError{Iters: opt.MaxNewton, FinalResidual: delta, Diag: diag}
 				telemetry.Log().Warn("newton iteration diverged",
 					"size", fmt.Sprintf("%dx%d", c.M, c.N), "max_newton", opt.MaxNewton, "tol", opt.Tol)
@@ -440,13 +512,27 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		}
 	}
 	if opt.Diagnostics {
-		diag.CondEstimate = jsonFinite(linalg.EstimateCond(a.mat))
+		diag.CondEstimate = jsonFinite(linalg.EstimateCondOps(a.mat, cost.diagnostics()))
 	}
+	diag.analyze()
 	res.Diag = diag
 	res.NodeV = v
 	res.VOut = c.extractVOut(v)
 	res.Power = c.sourcePower(vin, v)
 	return res, nil
+}
+
+// diagOf extracts the diagnostics of a finished solve from whichever side
+// carries them: the result on success, the typed error on divergence.
+func diagOf(res *Result, err error) *Diagnostics {
+	if res != nil && res.Diag != nil {
+		return res.Diag
+	}
+	var de *DivergenceError
+	if errors.As(err, &de) {
+		return de.Diag
+	}
+	return nil
 }
 
 // extractVOut reads the sense-node voltages of the solved network.

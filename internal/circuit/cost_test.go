@@ -1,0 +1,200 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"mnsim/internal/device"
+)
+
+// costCrossbar builds a small nonlinear crossbar with a deterministic
+// resistance pattern for the cost-model tests.
+func costCrossbar(m, n int) (*Crossbar, []float64) {
+	dev := device.RRAM()
+	r := make([][]float64, m)
+	for i := range r {
+		r[i] = make([]float64, n)
+		for j := range r[i] {
+			r[i][j] = dev.RMin + float64((i*n+j)%7)/7*(dev.RMax-dev.RMin)
+		}
+	}
+	vin := make([]float64, m)
+	for i := range vin {
+		vin[i] = dev.ReadVoltage * float64(1+i%3) / 3
+	}
+	return &Crossbar{M: m, N: n, R: r, WireR: 2.5, RSense: 1e3, Dev: dev}, vin
+}
+
+// TestCostAccountingBitIdentical is the neutrality contract: a solve with
+// accounting enabled must produce bit-identical outputs to one with
+// accounting disabled.
+func TestCostAccountingBitIdentical(t *testing.T) {
+	c, vin := costCrossbar(8, 8)
+	on, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := c.Solve(vin, SolveOptions{NoCostAccounting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.NewtonIters != off.NewtonIters || on.CGIters != off.CGIters {
+		t.Fatalf("iteration counts differ: %d/%d vs %d/%d",
+			on.NewtonIters, on.CGIters, off.NewtonIters, off.CGIters)
+	}
+	for i := range on.NodeV {
+		//lint:ignore nofloateq accounting neutrality is an exact-equality contract by design
+		if on.NodeV[i] != off.NodeV[i] {
+			t.Fatalf("NodeV[%d] differs: %v vs %v", i, on.NodeV[i], off.NodeV[i])
+		}
+	}
+	//lint:ignore nofloateq accounting neutrality is an exact-equality contract by design
+	if on.Power != off.Power {
+		t.Fatalf("Power differs: %v vs %v", on.Power, off.Power)
+	}
+	if on.Diag.Cost == nil {
+		t.Fatal("accounting on: Diag.Cost missing")
+	}
+	if off.Diag.Cost != nil {
+		t.Fatal("accounting off: Diag.Cost unexpectedly present")
+	}
+}
+
+// TestCostModelPhases checks the attribution lands where the pipeline
+// spends it: assembly once, newton updates per iteration, the CG loop
+// dominating, diagnostics only when requested.
+func TestCostModelPhases(t *testing.T) {
+	c, vin := costCrossbar(8, 8)
+	res, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := res.Diag.Cost
+	if cost == nil {
+		t.Fatal("no cost model on default solve")
+	}
+	if cost.Assembly.Flops == 0 || cost.Assembly.Bytes == 0 {
+		t.Errorf("assembly phase empty: %+v", cost.Assembly)
+	}
+	if cost.NewtonUpdate.Flops == 0 {
+		t.Errorf("newton-update phase empty: %+v", cost.NewtonUpdate)
+	}
+	if cost.CGLoop.SpMVs == 0 || cost.CGLoop.Flops == 0 {
+		t.Errorf("cg-loop phase empty: %+v", cost.CGLoop)
+	}
+	if cost.Diagnostics.Flops != 0 {
+		t.Errorf("diagnostics phase nonzero without opt.Diagnostics: %+v", cost.Diagnostics)
+	}
+	// The CG inner loop must dominate a Newton–CG solve.
+	total := cost.Total()
+	if cost.CGLoop.Flops*2 < total.Flops {
+		t.Errorf("cg-loop %d flops is under half of total %d", cost.CGLoop.Flops, total.Flops)
+	}
+	// SpMV count ties to iteration structure: one per CG iteration plus
+	// one residual product per CG call (setup + one per Newton step).
+	calls := int64(1 + len(res.Diag.CGIters))
+	if want := int64(res.CGIters) + calls; cost.CGLoop.SpMVs != want {
+		t.Errorf("cg-loop SpMVs = %d, want %d (cg iters %d, calls %d)",
+			cost.CGLoop.SpMVs, want, res.CGIters, calls)
+	}
+	// With diagnostics requested, the estimator's cost is attributed.
+	res2, err := c.Solve(vin, SolveOptions{Diagnostics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Diag.Cost.Diagnostics.Flops == 0 {
+		t.Errorf("diagnostics phase empty with opt.Diagnostics: %+v", res2.Diag.Cost.Diagnostics)
+	}
+	if res2.Diag.CondEstimate <= 0 {
+		t.Errorf("cond estimate missing: %v", res2.Diag.CondEstimate)
+	}
+}
+
+// TestZeroWireCostAttribution: the bisection path books its device
+// evaluations under the inner-loop phase.
+func TestZeroWireCostAttribution(t *testing.T) {
+	c, vin := costCrossbar(4, 4)
+	c.WireR = 0
+	res, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diag == nil || res.Diag.Cost == nil {
+		t.Fatal("zero-wire solve missing cost model")
+	}
+	if res.Diag.Cost.CGLoop.Flops == 0 {
+		t.Errorf("zero-wire inner loop booked no flops: %+v", res.Diag.Cost)
+	}
+	if res.Diag.Cost.Assembly.Flops != 0 {
+		t.Errorf("zero-wire solve booked assembly flops: %+v", res.Diag.Cost.Assembly)
+	}
+}
+
+// TestConvergenceAnalytics: a healthy Newton solve contracts (decay rate
+// well under 1, no stagnation) and reports the mean CG effort per step.
+func TestConvergenceAnalytics(t *testing.T) {
+	c, vin := costCrossbar(8, 8)
+	res, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := res.Diag.Convergence
+	if conv == nil {
+		t.Fatal("no convergence analytics on nonlinear solve")
+	}
+	if len(res.Diag.Residuals) >= 2 {
+		if !(conv.DecayRate > 0) || conv.DecayRate >= stagnationRatio {
+			t.Errorf("healthy solve decay rate = %v, want in (0, %v)", conv.DecayRate, stagnationRatio)
+		}
+		if conv.Stagnated {
+			t.Errorf("healthy solve flagged stagnated (residuals %v)", res.Diag.Residuals)
+		}
+	}
+	if conv.CGPerNewton <= 0 {
+		t.Errorf("CGPerNewton = %v, want > 0", conv.CGPerNewton)
+	}
+}
+
+// TestStagnationFlagOnDivergence: a diverging trajectory must trip the
+// stagnation flag and carry a cost model on the typed error.
+func TestStagnationFlagOnDivergence(t *testing.T) {
+	dev := device.RRAM()
+	dev.NonlinearVc = 2e-3 // far too steep for Newton — the known-bad specimen
+	r := [][]float64{{100e3, 100e3}, {100e3, 100e3}}
+	c := &Crossbar{M: 2, N: 2, R: r, WireR: 1, RSense: 1500, Dev: dev}
+	_, err := c.Solve([]float64{0.3, 0.3}, SolveOptions{MaxNewton: 5})
+	de, ok := err.(*DivergenceError)
+	if !ok {
+		t.Fatalf("want *DivergenceError, got %v", err)
+	}
+	if de.Diag.Convergence == nil || !de.Diag.Convergence.Stagnated {
+		t.Errorf("diverging solve not flagged stagnated: %+v", de.Diag.Convergence)
+	}
+	if de.Diag.Cost == nil || de.Diag.Cost.Total().Flops == 0 {
+		t.Errorf("diverging solve carries no cost model: %+v", de.Diag.Cost)
+	}
+}
+
+// TestAnalyzeDecayRate pins the decay-rate formula on a synthetic
+// trajectory: residuals halving each step give rate 0.5.
+func TestAnalyzeDecayRate(t *testing.T) {
+	d := &Diagnostics{Residuals: []float64{1, 0.5, 0.25, 0.125}, CGIters: []int{10, 20, 30, 40}}
+	d.analyze()
+	if d.Convergence == nil {
+		t.Fatal("analyze produced nothing")
+	}
+	if math.Abs(d.Convergence.DecayRate-0.5) > 1e-12 {
+		t.Errorf("decay rate = %v, want 0.5", d.Convergence.DecayRate)
+	}
+	if d.Convergence.Stagnated {
+		t.Error("halving trajectory flagged stagnated")
+	}
+	if math.Abs(d.Convergence.CGPerNewton-25) > 1e-12 {
+		t.Errorf("cg/newton = %v, want 25", d.Convergence.CGPerNewton)
+	}
+	flat := &Diagnostics{Residuals: []float64{1, 0.99, 0.985, 0.98}}
+	flat.analyze()
+	if !flat.Convergence.Stagnated {
+		t.Error("flat trajectory not flagged stagnated")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"mnsim/internal/device"
+	"mnsim/internal/linalg"
 	"mnsim/internal/telemetry"
 )
 
@@ -66,6 +67,139 @@ type Diagnostics struct {
 	// MNA Jacobian (linalg.EstimateCond). Computed on divergence and when
 	// SolveOptions.Diagnostics is set; zero otherwise.
 	CondEstimate float64 `json:"cond_estimate,omitempty"`
+	// Cost is the solve's per-phase operation cost model; nil when the
+	// solve ran with SolveOptions.NoCostAccounting.
+	Cost *CostModel `json:"cost,omitempty"`
+	// Convergence carries analytics derived from the recorded trajectory
+	// (residual decay rate, stagnation flag); nil for linear solves.
+	Convergence *Convergence `json:"convergence,omitempty"`
+}
+
+// CostModel attributes one solve's operation counts to the phases of the
+// Newton–CG pipeline — the "where does a solve spend its cost" breakdown.
+// Kernel counts (the CG inner loop, condition estimation) are exact; the
+// assembly and device-stamping phases are modeled, with each transcendental
+// device evaluation (one sinh/cosh pair) counted as deviceEvalFlops flops.
+// Counting is deterministic and purely observational, so cost fields
+// round-trip bit-identically through journals, snapshots, and mnsim-replay.
+type CostModel struct {
+	// Assembly is the cost of building the MNA triplets and the CSR
+	// sparsity pattern (once per solve).
+	Assembly linalg.OpCount `json:"assembly"`
+	// NewtonUpdate is the per-iteration nonlinear work: device-model
+	// re-stamping, CSR value refresh, and the ΔV convergence scan. On the
+	// zero-wire path it is empty — the bisection loop is the inner solver
+	// there and lands in CGLoop.
+	NewtonUpdate linalg.OpCount `json:"newton_update"`
+	// CGLoop is the inner linear-solver cost: every CG iteration of the
+	// setup solve and the Newton steps (or the per-column bisection loop
+	// on the zero-wire path).
+	CGLoop linalg.OpCount `json:"cg_loop"`
+	// Diagnostics is the cost of optional numerical diagnostics — the
+	// Jacobian condition estimate's power/inverse iterations.
+	Diagnostics linalg.OpCount `json:"diagnostics"`
+}
+
+// Total folds the four phases into one accumulator; nil-safe.
+func (c *CostModel) Total() linalg.OpCount {
+	var t linalg.OpCount
+	if c == nil {
+		return t
+	}
+	t.Add(&c.Assembly)
+	t.Add(&c.NewtonUpdate)
+	t.Add(&c.CGLoop)
+	t.Add(&c.Diagnostics)
+	return t
+}
+
+// Nil-safe phase accessors: a disabled cost model threads nil *OpCount
+// into the kernels, which is the zero-overhead off switch.
+func (c *CostModel) assembly() *linalg.OpCount {
+	if c == nil {
+		return nil
+	}
+	return &c.Assembly
+}
+
+func (c *CostModel) newtonUpdate() *linalg.OpCount {
+	if c == nil {
+		return nil
+	}
+	return &c.NewtonUpdate
+}
+
+func (c *CostModel) cgLoop() *linalg.OpCount {
+	if c == nil {
+		return nil
+	}
+	return &c.CGLoop
+}
+
+func (c *CostModel) diagnostics() *linalg.OpCount {
+	if c == nil {
+		return nil
+	}
+	return &c.Diagnostics
+}
+
+// Convergence analytics derived from a solve's recorded Newton trajectory.
+type Convergence struct {
+	// DecayRate is the geometric-mean contraction factor of successive
+	// Newton residuals, (R_last/R_first)^(1/(steps−1)): well below 1 for a
+	// healthy quadratically-converging solve, near or above 1 when Newton
+	// is fighting the linearisation. Zero when the trajectory is too short
+	// (or hit exact zero) to estimate.
+	DecayRate float64 `json:"decay_rate"`
+	// Stagnated is set when the trajectory's tail stopped contracting: the
+	// geometric-mean ratio over the last stagnationWindow steps exceeds
+	// stagnationRatio. Every diverging solve stagnates; a converging solve
+	// that stagnates is burning iterations without progress — the signal
+	// to look at conditioning.
+	Stagnated bool `json:"stagnated,omitempty"`
+	// CGPerNewton is the mean inner-CG iteration count per Newton step —
+	// the linear-solver effort behind each nonlinear update.
+	CGPerNewton float64 `json:"cg_per_newton,omitempty"`
+}
+
+const (
+	// stagnationWindow is how many trailing Newton steps the stagnation
+	// check examines.
+	stagnationWindow = 3
+	// stagnationRatio is the trailing contraction factor above which a
+	// trajectory counts as stagnated.
+	stagnationRatio = 0.9
+)
+
+// analyze derives the convergence analytics from the recorded trajectory.
+// Purely a read of already-recorded values: it cannot perturb the solve.
+func (d *Diagnostics) analyze() {
+	if len(d.Residuals) == 0 {
+		return
+	}
+	conv := &Convergence{}
+	if len(d.CGIters) > 0 {
+		sum := 0
+		for _, c := range d.CGIters {
+			sum += c
+		}
+		conv.CGPerNewton = float64(sum) / float64(len(d.CGIters))
+	}
+	if steps := len(d.Residuals); steps >= 2 {
+		first, last := d.Residuals[0], d.Residuals[steps-1]
+		if first > 0 && last > 0 {
+			conv.DecayRate = jsonFinite(math.Pow(last/first, 1/float64(steps-1)))
+		}
+		w := stagnationWindow
+		if w > steps-1 {
+			w = steps - 1
+		}
+		from, to := d.Residuals[steps-1-w], d.Residuals[steps-1]
+		if from > 0 && to > 0 && math.Pow(to/from, 1/float64(w)) > stagnationRatio {
+			conv.Stagnated = true
+		}
+	}
+	d.Convergence = conv
 }
 
 // DivergenceError is the typed form of a Newton divergence: errors.Is
@@ -173,6 +307,9 @@ type Outcome struct {
 	// FinalResidual and Residuals record a divergence trajectory.
 	FinalResidual float64   `json:"final_residual,omitempty"`
 	Residuals     []float64 `json:"residuals,omitempty"`
+	// Cost is the solve's per-phase operation cost model. Integer counts
+	// round-trip JSON exactly, so a replay must reproduce it bit for bit.
+	Cost *CostModel `json:"cost,omitempty"`
 
 	// Transient results.
 	SettleSeconds float64 `json:"settle_seconds,omitempty"`
@@ -233,6 +370,7 @@ func (c *Crossbar) NewSnapshot(vin []float64, opt SolveOptions, res *Result, err
 			s.Outcome.FinalResidual = jsonFinite(de.FinalResidual)
 			if de.Diag != nil {
 				s.Outcome.Residuals = jsonFiniteSlice(de.Diag.Residuals)
+				s.Outcome.Cost = de.Diag.Cost.clone()
 			}
 		}
 		return s
@@ -244,8 +382,19 @@ func (c *Crossbar) NewSnapshot(vin []float64, opt SolveOptions, res *Result, err
 	s.Outcome.CGIters = res.CGIters
 	if res.Diag != nil {
 		s.Outcome.Residuals = jsonFiniteSlice(res.Diag.Residuals)
+		s.Outcome.Cost = res.Diag.Cost.clone()
 	}
 	return s
+}
+
+// clone copies the cost model into a fresh value (nil in, nil out), so a
+// snapshot owns its outcome independently of the live diagnostics.
+func (c *CostModel) clone() *CostModel {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
 }
 
 // newTransientSnapshot records a completed settling run.

@@ -73,7 +73,7 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 	}
 	lin := *c
 	lin.Linear = true
-	a, err := lin.assemble(vin)
+	a, err := lin.assemble(vin, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -134,6 +134,16 @@ type Options struct {
 	// index-addressed, so any worker count produces the exact sequential
 	// output order.
 	Workers int
+	// EvalSpin adds deterministic synthetic work to every candidate
+	// evaluation: the given number of integer-mix rounds (a splitmix64-style
+	// finalizer) seeded from the grid point, folded into an atomic sink so
+	// the loop cannot be optimised away. The behavioural models evaluate a
+	// design in single-digit microseconds — below goroutine handoff cost —
+	// so scheduling benchmarks (BenchmarkExplore) use this knob to give each
+	// candidate a measurable, machine-independent cost. Zero disables it;
+	// the spin never touches the evaluation result, so candidate lists are
+	// bit-identical with and without it.
+	EvalSpin int
 	// FailEval injects one evaluation failure at the grid point named
 	// "size:p:node" (e.g. "8:2:45") — a fault-injection hook so the
 	// flight-recorder path (candidate_eval failure events, journal capture,
@@ -159,6 +169,24 @@ func parseFailSpec(s string) (*failSpec, error) {
 
 // errInjected tags Options.FailEval fault injections.
 var errInjected = errors.New("injected evaluation failure")
+
+// spinSink absorbs Options.EvalSpin results; an atomic package-level sink
+// is the standard anti-elision anchor for synthetic busy work.
+var spinSink atomic.Uint64
+
+// spin runs the requested number of splitmix64 finalizer rounds over the
+// seed: pure integer mixing with a loop-carried dependency, so the work is
+// deterministic, unoptimisable, and takes the same time on every run.
+func spin(seed uint64, rounds int) uint64 {
+	x := seed
+	for i := 0; i < rounds; i++ {
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
 
 // candID is the journal correlation id of one grid point, e.g. "cand-8x2@45".
 func candID(gp gridPoint) string {
@@ -252,6 +280,10 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 		d.Parallelism = gp.p
 		d.Wire = gp.wire
 		_, cs := telemetry.StartSpan(ctx, "candidate")
+		if opt.EvalSpin > 0 {
+			seed := uint64(gp.size)<<32 | uint64(gp.p)<<16 | uint64(gp.node)
+			spinSink.Add(spin(seed, opt.EvalSpin))
+		}
 		var r arch.Report
 		var err error
 		if inject != nil && inject.size == gp.size && inject.p == gp.p && inject.node == gp.node {

@@ -110,14 +110,57 @@ func TestBestWithSecondaryZeroOptimum(t *testing.T) {
 	}
 }
 
+// TestExploreEvalSpinNeutral: the synthetic per-candidate work must not
+// change any evaluated result, only its cost.
+func TestExploreEvalSpinNeutral(t *testing.T) {
+	base := baseDesign()
+	plain, err := Explore(context.Background(), base, largeLayer, smallSpace(), Options{ErrorLimit: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spun, err := Explore(context.Background(), base, largeLayer, smallSpace(), Options{ErrorLimit: 0.25, EvalSpin: 5000, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripEvalTime(plain), stripEvalTime(spun)) {
+		t.Error("EvalSpin changed the candidate list")
+	}
+}
+
+// TestSpinDeterministic pins the busy-work mixer: same seed and rounds,
+// same value — and it must actually depend on both.
+func TestSpinDeterministic(t *testing.T) {
+	if spin(42, 1000) != spin(42, 1000) {
+		t.Error("spin is not deterministic")
+	}
+	if spin(42, 1000) == spin(43, 1000) {
+		t.Error("spin ignores its seed")
+	}
+	if spin(42, 1000) == spin(42, 1001) {
+		t.Error("spin ignores its round count")
+	}
+}
+
+// BenchmarkExplore measures sweep scheduling. The behavioural models
+// evaluate a design in ~1 µs — below goroutine handoff cost, so the bare
+// sweep cannot show pool scaling. EvalSpin injects a deterministic ~20 µs
+// of integer mixing per candidate (the cost of a small circuit-level
+// validation solve) which makes the workers=1 vs workers=4 comparison a
+// real measurement of the pool; spin work never changes the results.
 func BenchmarkExplore(b *testing.B) {
 	base := baseDesign()
 	space := DefaultSpace()
+	const spinRounds = 20000
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := Options{ErrorLimit: 0.25, Workers: workers, EvalSpin: spinRounds}
 			for i := 0; i < b.N; i++ {
-				if _, err := Explore(context.Background(), base, largeLayer, space, Options{ErrorLimit: 0.25, Workers: workers}); err != nil {
+				cands, err := Explore(context.Background(), base, largeLayer, space, opt)
+				if err != nil {
 					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(cands)), "candidates/op")
 				}
 			}
 		})

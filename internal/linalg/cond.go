@@ -30,24 +30,30 @@ func condStartVector(n int) []float64 {
 }
 
 // rayleigh returns v·Av / v·v.
-func rayleigh(a *CSR, v, av []float64) float64 {
+func rayleigh(a *CSR, v, av []float64, ops *OpCount) float64 {
 	a.MulVec(v, av)
+	ops.CountSpMV(len(a.Vals), a.N)
 	vv := Dot(v, v)
+	ops.CountDot(a.N)
 	if vv == 0 {
 		return 0
 	}
+	ops.CountDot(a.N)
+	ops.CountFlops(1)
 	return Dot(v, av) / vv
 }
 
 // normalize scales v to unit 2-norm; returns false for a zero vector.
-func normalize(v []float64) bool {
+func normalize(v []float64, ops *OpCount) bool {
 	n := Norm2(v)
+	ops.CountNorm(len(v))
 	if n == 0 || math.IsNaN(n) || math.IsInf(n, 0) {
 		return false
 	}
 	for i := range v {
 		v[i] /= n
 	}
+	ops.CountVecOp(len(v), 1)
 	return true
 }
 
@@ -56,35 +62,46 @@ func normalize(v []float64) bool {
 // iteration with one loose inner CG solve per step. Both run a fixed,
 // deterministic number of iterations from a fixed start vector.
 func ExtremeEigenEstimates(a *CSR) (lmin, lmax float64) {
+	return ExtremeEigenEstimatesOps(a, nil)
+}
+
+// ExtremeEigenEstimatesOps is ExtremeEigenEstimates with operation
+// accounting: the power iterations, the inner CG solves, and the Rayleigh
+// quotients all land in ops.
+func ExtremeEigenEstimatesOps(a *CSR, ops *OpCount) (lmin, lmax float64) {
 	n := a.N
+	nnz := len(a.Vals)
 	av := make([]float64, n)
 
 	v := condStartVector(n)
 	for i := 0; i < condPowerIters; i++ {
 		a.MulVec(v, av)
+		ops.CountSpMV(nnz, n)
 		copy(v, av)
-		if !normalize(v) {
+		ops.CountBytes(16 * int64(n))
+		if !normalize(v, ops) {
 			return 0, 0
 		}
 	}
-	lmax = rayleigh(a, v, av)
+	lmax = rayleigh(a, v, av, ops)
 
 	w := condStartVector(n)
-	normalize(w)
+	normalize(w, ops)
 	for i := 0; i < condInverseIters; i++ {
 		// One loose CG solve approximates w ← A⁻¹·w; ErrNoConvergence is
 		// fine here — the partial iterate still amplifies the small-λ
 		// components, which is all inverse iteration needs.
-		x, _, err := SolveCG(a, w, nil, CGOptions{Tol: condInnerTol, MaxIter: condInnerMaxIter})
+		x, _, err := SolveCG(a, w, nil, CGOptions{Tol: condInnerTol, MaxIter: condInnerMaxIter, Ops: ops})
 		if err != nil && x == nil {
 			return 0, lmax
 		}
 		copy(w, x)
-		if !normalize(w) {
+		ops.CountBytes(16 * int64(n))
+		if !normalize(w, ops) {
 			return 0, lmax
 		}
 	}
-	lmin = rayleigh(a, w, av)
+	lmin = rayleigh(a, w, av, ops)
 	return lmin, lmax
 }
 
@@ -93,7 +110,12 @@ func ExtremeEigenEstimates(a *CSR) (lmin, lmax float64) {
 // degenerates to zero (numerically singular as far as the estimator can
 // tell).
 func EstimateCond(a *CSR) float64 {
-	lmin, lmax := ExtremeEigenEstimates(a)
+	return EstimateCondOps(a, nil)
+}
+
+// EstimateCondOps is EstimateCond with operation accounting.
+func EstimateCondOps(a *CSR, ops *OpCount) float64 {
+	lmin, lmax := ExtremeEigenEstimatesOps(a, ops)
 	if lmin <= 0 {
 		return math.Inf(1)
 	}

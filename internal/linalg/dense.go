@@ -77,11 +77,20 @@ type LU struct {
 // FactorLU computes the LU factorisation of a square matrix with partial
 // pivoting. The input is not modified.
 func FactorLU(m *Dense) (*LU, error) {
+	return FactorLUOps(m, nil)
+}
+
+// FactorLUOps is FactorLU with operation accounting: a non-nil ops
+// accumulates the factorization's exact elimination flop count
+// (OpCount.CountFactorLU). Accounting is observational only — it never
+// changes a computed float.
+func FactorLUOps(m *Dense, ops *OpCount) (*LU, error) {
 	if m.Rows != m.Cols {
 		return nil, fmt.Errorf("linalg: LU needs a square matrix, got %dx%d", m.Rows, m.Cols)
 	}
 	n := m.Rows
 	telLUFactorsTotal.Inc()
+	ops.CountFactorLU(n)
 	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
 	copy(f.lu, m.Data)
 	for i := range f.piv {
@@ -124,10 +133,16 @@ func FactorLU(m *Dense) (*LU, error) {
 
 // Solve computes x such that A·x = b for the factored matrix A.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	return f.SolveOps(b, nil)
+}
+
+// SolveOps is Solve with operation accounting (OpCount.CountLUSolve).
+func (f *LU) SolveOps(b []float64, ops *OpCount) ([]float64, error) {
 	if len(b) != f.n {
 		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), f.n)
 	}
 	n := f.n
+	ops.CountLUSolve(n)
 	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -164,11 +179,17 @@ func (f *LU) Det() float64 {
 
 // SolveDense is a convenience wrapper: factor A and solve A·x = b once.
 func SolveDense(a *Dense, b []float64) ([]float64, error) {
-	f, err := FactorLU(a)
+	return SolveDenseOps(a, b, nil)
+}
+
+// SolveDenseOps is SolveDense with operation accounting: one factorization
+// plus one substitution pair land in ops.
+func SolveDenseOps(a *Dense, b []float64, ops *OpCount) ([]float64, error) {
+	f, err := FactorLUOps(a, ops)
 	if err != nil {
 		return nil, err
 	}
-	return f.Solve(b)
+	return f.SolveOps(b, ops)
 }
 
 // Norm2 returns the Euclidean norm of v.

@@ -1,0 +1,154 @@
+package linalg
+
+// Operation-cost accounting for the numerical kernels. An OpCount is an
+// allocation-free accumulator of what a solve actually did — floating-point
+// operations, kernel invocations, bytes streamed through memory,
+// factorizations — so callers can attribute solve cost to phases without
+// timers (the clock-free invariant of this package) and bit-identically
+// across runs (the replay contract: counting only observes, it never
+// touches a float in the computation).
+//
+// Every Count* method is safe on a nil receiver and does nothing there, so
+// kernels thread a possibly-nil *OpCount through unconditionally; the
+// disabled path costs one pointer test per kernel call.
+//
+// The accounting contract, which the analytic tests assert against:
+//
+//   - CountSpMV(nnz, n): one CSR matrix-vector product. 2·nnz flops
+//     (multiply-add per stored element); 24·nnz bytes (value, column index,
+//     gathered x element) plus 16·n bytes (row pointer, y store).
+//   - CountDot(n): one inner product. 2·n flops, 16·n bytes.
+//   - CountNorm(n): one Euclidean norm — a self inner product (counted in
+//     Dots) plus the square root. 2·n+1 flops, 8·n bytes.
+//   - CountAxpy(n): one y += α·x. 2·n flops, 24·n bytes.
+//   - CountVecOp(n, flopsPer): one streaming elementwise pass over
+//     length-n vectors at flopsPer flops per element, 24·n bytes (two
+//     reads, one write) — the preconditioner apply and direction update.
+//   - CountFactorLU(n): one dense LU factorization with partial pivoting,
+//     its exact inner-loop flop count Σ_{j=1}^{n-1} (j + 2·j²), 16·n² bytes.
+//   - CountLUSolve(n): one forward+back substitution pair, 2·n²−n flops,
+//     16·n² bytes.
+type OpCount struct {
+	// Flops is the floating-point operation count (adds, multiplies,
+	// divides, and square roots each count one; see the package cost model
+	// for transcendental device evaluations, which callers count
+	// explicitly).
+	Flops int64 `json:"flops"`
+	// SpMVs counts sparse matrix-vector products.
+	SpMVs int64 `json:"spmvs,omitempty"`
+	// Dots counts inner products (norms included: a norm is a self-dot).
+	Dots int64 `json:"dots,omitempty"`
+	// Axpys counts y += α·x vector updates.
+	Axpys int64 `json:"axpys,omitempty"`
+	// Bytes is the modeled memory traffic of the counted kernels.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Factorizations counts dense LU factorizations.
+	Factorizations int64 `json:"factorizations,omitempty"`
+}
+
+// Add folds another accumulator into o; nil-safe on both sides.
+func (o *OpCount) Add(other *OpCount) {
+	if o == nil || other == nil {
+		return
+	}
+	o.Flops += other.Flops
+	o.SpMVs += other.SpMVs
+	o.Dots += other.Dots
+	o.Axpys += other.Axpys
+	o.Bytes += other.Bytes
+	o.Factorizations += other.Factorizations
+}
+
+// CountSpMV records one CSR sparse matrix-vector product with nnz stored
+// elements over an n-vector.
+func (o *OpCount) CountSpMV(nnz, n int) {
+	if o == nil {
+		return
+	}
+	o.SpMVs++
+	o.Flops += 2 * int64(nnz)
+	o.Bytes += 24*int64(nnz) + 16*int64(n)
+}
+
+// CountDot records one length-n inner product.
+func (o *OpCount) CountDot(n int) {
+	if o == nil {
+		return
+	}
+	o.Dots++
+	o.Flops += 2 * int64(n)
+	o.Bytes += 16 * int64(n)
+}
+
+// CountNorm records one length-n Euclidean norm (a self-dot plus a square
+// root).
+func (o *OpCount) CountNorm(n int) {
+	if o == nil {
+		return
+	}
+	o.Dots++
+	o.Flops += 2*int64(n) + 1
+	o.Bytes += 8 * int64(n)
+}
+
+// CountAxpy records one length-n y += α·x update.
+func (o *OpCount) CountAxpy(n int) {
+	if o == nil {
+		return
+	}
+	o.Axpys++
+	o.Flops += 2 * int64(n)
+	o.Bytes += 24 * int64(n)
+}
+
+// CountVecOp records one streaming elementwise pass over length-n vectors
+// at flopsPer flops per element (two reads and one write per element).
+func (o *OpCount) CountVecOp(n int, flopsPer int64) {
+	if o == nil {
+		return
+	}
+	o.Flops += flopsPer * int64(n)
+	o.Bytes += 24 * int64(n)
+}
+
+// CountFlops records raw flops with no associated memory traffic — scalar
+// recurrences like α = rz/p·Ap.
+func (o *OpCount) CountFlops(n int64) {
+	if o == nil {
+		return
+	}
+	o.Flops += n
+}
+
+// CountBytes records raw memory traffic with no arithmetic — copies, the
+// CSR diagonal scan, triplet assembly.
+func (o *OpCount) CountBytes(n int64) {
+	if o == nil {
+		return
+	}
+	o.Bytes += n
+}
+
+// CountFactorLU records one n×n dense LU factorization with partial
+// pivoting: the exact elimination flop count Σ_{j=1}^{n-1} (j + 2·j²)
+// (one division plus one multiply-subtract pair per eliminated element).
+func (o *OpCount) CountFactorLU(n int) {
+	if o == nil {
+		return
+	}
+	j := int64(n) - 1
+	o.Factorizations++
+	o.Flops += j*(j+1)/2 + j*(j+1)*(2*j+1)/3
+	o.Bytes += 16 * int64(n) * int64(n)
+}
+
+// CountLUSolve records one forward+back substitution pair against an n×n
+// factorization: 2·n²−n flops.
+func (o *OpCount) CountLUSolve(n int) {
+	if o == nil {
+		return
+	}
+	nn := int64(n)
+	o.Flops += 2*nn*nn - nn
+	o.Bytes += 16 * nn * nn
+}

@@ -142,6 +142,16 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter bounds iterations; default 10·N.
 	MaxIter int
+	// Ops, when non-nil, accumulates the solve's operation counts. The
+	// accounting is exact and purely observational: enabling it never
+	// changes a computed float. Per solve the setup costs one SpMV, two
+	// dots (‖b‖ and r·z), the diagonal scan and inversion, and three
+	// streaming vector passes; each of the k iterations costs one SpMV,
+	// one dot, one norm, two AXPYs and two scalar divisions, and every
+	// iteration except a converged last one adds the preconditioner
+	// apply, one more dot, and the direction update. In totals:
+	// SpMVs = k+1, Dots = 3k+1, Axpys = 2k.
+	Ops *OpCount
 }
 
 // SolveCG solves A·x = b for a symmetric positive-definite CSR matrix with
@@ -159,11 +169,15 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 10 * n
 	}
+	ops := opt.Ops
+	nnz := len(a.Vals)
 	x := make([]float64, n)
 	if x0 != nil {
 		copy(x, x0)
+		ops.CountBytes(16 * int64(n))
 	}
 	diag := a.Diagonal()
+	ops.CountBytes(16 * int64(nnz)) // diagonal scan over Vals + ColIdx
 	inv := make([]float64, n)
 	for i, d := range diag {
 		if d == 0 {
@@ -171,12 +185,16 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 		}
 		inv[i] = 1 / d
 	}
+	ops.CountVecOp(n, 1) // diagonal inversion
 	r := make([]float64, n)
 	a.MulVec(x, r)
+	ops.CountSpMV(nnz, n)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
+	ops.CountVecOp(n, 1) // r = b − A·x
 	normB := Norm2(b)
+	ops.CountNorm(n)
 	if normB == 0 {
 		observeCG(0)
 		return x, 0, nil // b = 0 → x = 0 (or x0-projected; zero is the SPD solution)
@@ -185,28 +203,43 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	for i := range z {
 		z[i] = inv[i] * r[i]
 	}
+	ops.CountVecOp(n, 1) // preconditioner apply
 	p := make([]float64, n)
 	copy(p, z)
+	ops.CountBytes(16 * int64(n))
 	rz := Dot(r, z)
+	ops.CountDot(n)
 	ap := make([]float64, n)
 	for it := 1; it <= opt.MaxIter; it++ {
 		a.MulVec(p, ap)
+		ops.CountSpMV(nnz, n)
 		alpha := rz / Dot(p, ap)
+		ops.CountDot(n)
+		ops.CountFlops(1) // α division
 		AXPY(alpha, p, x)
 		AXPY(-alpha, ap, r)
-		if Norm2(r)/normB < opt.Tol {
+		ops.CountAxpy(n)
+		ops.CountAxpy(n)
+		res := Norm2(r) / normB
+		ops.CountNorm(n)
+		ops.CountFlops(1) // relative-residual division
+		if res < opt.Tol {
 			observeCG(it)
 			return x, it, nil
 		}
 		for i := range z {
 			z[i] = inv[i] * r[i]
 		}
+		ops.CountVecOp(n, 1) // preconditioner apply
 		rzNew := Dot(r, z)
+		ops.CountDot(n)
 		beta := rzNew / rz
+		ops.CountFlops(1) // β division
 		rz = rzNew
 		for i := range p {
 			p[i] = z[i] + beta*p[i]
 		}
+		ops.CountVecOp(n, 2) // direction update p = z + β·p
 	}
 	observeCG(opt.MaxIter)
 	telCGNoConverge.Inc()

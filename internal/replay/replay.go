@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"mnsim/internal/circuit"
+	"mnsim/internal/linalg"
 	"mnsim/internal/telemetry"
 )
 
@@ -99,6 +100,9 @@ func replayDC(ctx context.Context, c *circuit.Crossbar, s *circuit.Snapshot, w i
 			return mismatch("iterations %d/%d, recorded %d/%d",
 				res.NewtonIters, res.CGIters, s.Outcome.NewtonIters, s.Outcome.CGIters)
 		}
+		if err := compareCost(res.Diag, s.Outcome.Cost); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "replay: OK — Vout bit-identical across %d columns (%d Newton / %d CG iters)\n",
 			len(res.VOut), res.NewtonIters, res.CGIters)
 		return nil
@@ -113,6 +117,9 @@ func replayDC(ctx context.Context, c *circuit.Crossbar, s *circuit.Snapshot, w i
 	if errors.As(err, &de) {
 		if de.Iters != s.Outcome.NewtonIters {
 			return mismatch("divergence after %d iters, recorded %d", de.Iters, s.Outcome.NewtonIters)
+		}
+		if err := compareCost(de.Diag, s.Outcome.Cost); err != nil {
+			return err
 		}
 		//lint:ignore nofloateq bit-identical replay is an exact-equality contract by design
 		if jsonFinite(de.FinalResidual) != s.Outcome.FinalResidual {
@@ -171,6 +178,23 @@ func replayTransient(c *circuit.Crossbar, s *circuit.Snapshot, w io.Writer, verb
 	return nil
 }
 
+// compareCost checks a re-run's cost model against the recorded one.
+// Operation counts are integers, so the comparison is exact; a recorded
+// snapshot without cost (accounting off, or pre-cost schema) skips the
+// check.
+func compareCost(d *circuit.Diagnostics, recorded *circuit.CostModel) error {
+	if recorded == nil {
+		return nil
+	}
+	if d == nil || d.Cost == nil {
+		return mismatch("snapshot records a cost model, re-run produced none")
+	}
+	if *d.Cost != *recorded {
+		return mismatch("cost model differs: re-run %+v, recorded %+v", *d.Cost, *recorded)
+	}
+	return nil
+}
+
 // printDiagnostics renders the re-run's per-iteration trajectory: the
 // verbose loupe the flight recorder exists for.
 func printDiagnostics(w io.Writer, res *circuit.Result, err error) {
@@ -193,6 +217,14 @@ func printDiagnostics(w io.Writer, res *circuit.Result, err error) {
 		fmt.Fprintf(w, "  cond(J) ≈ %.3g", d.CondEstimate)
 	}
 	fmt.Fprintln(w)
+	if c := d.Convergence; c != nil {
+		fmt.Fprintf(w, "  decay rate %.4g  cg/newton %.1f", c.DecayRate, c.CGPerNewton)
+		if c.Stagnated {
+			fmt.Fprint(w, "  STAGNATED")
+		}
+		fmt.Fprintln(w)
+	}
+	printCost(w, d.Cost)
 	for i, r := range d.Residuals {
 		cg := 0
 		if i < len(d.CGIters) {
@@ -200,6 +232,30 @@ func printDiagnostics(w io.Writer, res *circuit.Result, err error) {
 		}
 		fmt.Fprintf(w, "  newton %2d  max ΔV %.6e V  cg %d\n", i, r, cg)
 	}
+}
+
+// printCost renders the per-phase cost attribution table.
+func printCost(w io.Writer, c *circuit.CostModel) {
+	if c == nil {
+		return
+	}
+	total := c.Total()
+	if total.Flops == 0 {
+		return
+	}
+	phase := func(name string, o linalg.OpCount) {
+		pct := 100 * float64(o.Flops) / float64(total.Flops)
+		fmt.Fprintf(w, "  cost %-14s %12d flops (%5.1f%%)  %10d bytes", name, o.Flops, pct, o.Bytes)
+		if o.SpMVs > 0 {
+			fmt.Fprintf(w, "  spmv %d dot %d axpy %d", o.SpMVs, o.Dots, o.Axpys)
+		}
+		fmt.Fprintln(w)
+	}
+	phase("assembly", c.Assembly)
+	phase("newton-update", c.NewtonUpdate)
+	phase("cg-loop", c.CGLoop)
+	phase("diagnostics", c.Diagnostics)
+	fmt.Fprintf(w, "  cost %-14s %12d flops           %10d bytes\n", "total", total.Flops, total.Bytes)
 }
 
 // File replays path — a snapshot .json, or a journal .jsonl whose

@@ -164,3 +164,91 @@ func TestReplayFileErrors(t *testing.T) {
 		t.Error("snapshot-less journal accepted")
 	}
 }
+
+// The cost model must survive the journal → snapshot → replay loop
+// bit-identically: operation counts are integers, so the recorded and
+// re-run models compare exactly — and a tampered count is a mismatch.
+func TestReplayCostRoundTrip(t *testing.T) {
+	j := telemetry.DefaultJournal()
+	jp := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := j.Open(jp); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		j.Close()
+		j.Reset()
+	}()
+	dev := device.RRAM()
+	dev.NonlinearVc = 2e-3
+	c := &circuit.Crossbar{M: 2, N: 2, R: uniformR(2, 2, 100e3), WireR: 1, RSense: 1500, Dev: dev}
+	if _, err := c.Solve([]float64{0.3, 0.3}, circuit.SolveOptions{MaxNewton: 5}); !errors.Is(err, circuit.ErrNewtonDiverged) {
+		t.Fatalf("want divergence, got %v", err)
+	}
+	j.Close()
+	// The journaled solve_end event carries the rolled-up cost.
+	events, err := telemetry.ReadJournalFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFlops := false
+	for _, ev := range events {
+		if ev.Type == telemetry.EvSolveEnd {
+			if f, ok := ev.Data["flops"].(float64); ok && f > 0 {
+				sawFlops = true
+			}
+		}
+	}
+	if !sawFlops {
+		t.Fatal("no solve_end event carries a positive flops total")
+	}
+	// The captured snapshot records the cost model...
+	snaps := telemetry.JournalSnapshotPaths(jp, events)
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %d", len(snaps))
+	}
+	snap, err := circuit.LoadSnapshot(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Outcome.Cost == nil || snap.Outcome.Cost.Total().Flops == 0 {
+		t.Fatalf("snapshot outcome has no cost model: %+v", snap.Outcome.Cost)
+	}
+	// ...and a verbose replay reproduces it exactly, rendering attribution.
+	var sb strings.Builder
+	if err := Snapshot(context.Background(), snap, &sb, true); err != nil {
+		t.Fatalf("cost replay mismatch: %v\n%s", err, sb.String())
+	}
+	for _, want := range []string{"cost assembly", "cost cg-loop", "cost total", "decay rate"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("verbose replay missing %q:\n%s", want, sb.String())
+		}
+	}
+	// A tampered operation count must be caught.
+	snap.Outcome.Cost.CGLoop.Flops++
+	sb.Reset()
+	if err := Snapshot(context.Background(), snap, &sb, false); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("tampered cost replayed clean: %v", err)
+	}
+}
+
+// A snapshot recorded with accounting off (or by a pre-cost build) has no
+// cost model; replay must skip the check rather than flag a mismatch.
+func TestReplayCostAbsentSkipsCheck(t *testing.T) {
+	c := testCrossbar()
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	opt := circuit.SolveOptions{NoCostAccounting: true}
+	res, err := c.Solve(vin, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.NewSnapshot(vin, opt, res, nil)
+	if snap.Outcome.Cost != nil {
+		t.Fatalf("accounting-off snapshot recorded a cost model: %+v", snap.Outcome.Cost)
+	}
+	// Replays re-solve with the recorded options, so the re-run is also
+	// accounting-off and the recorded/absent cost must compare clean.
+	var sb strings.Builder
+	if err := Snapshot(context.Background(), snap, &sb, false); err != nil {
+		t.Fatalf("cost-less snapshot failed replay: %v\n%s", err, sb.String())
+	}
+}

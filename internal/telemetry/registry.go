@@ -328,10 +328,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// HistogramSnapshot is the JSON shape of one histogram.
+// HistogramSnapshot is the JSON shape of one histogram. Mean and the
+// quantiles are derived at snapshot time: quantiles interpolate linearly
+// within the bucket containing the target rank, which is the standard
+// fixed-bucket estimate — exact at bucket boundaries, bounded by bucket
+// width inside them.
 type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
 	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
@@ -339,6 +347,51 @@ type HistogramSnapshot struct {
 type HistogramBucket struct {
 	LE         string `json:"le"`
 	Cumulative int64  `json:"cumulative"`
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from cumulative bucket
+// counts aligned with bounds plus the trailing +Inf bucket. The rank is
+// located by binary search and interpolated linearly across the containing
+// bucket; ranks landing in the +Inf bucket clamp to the last finite bound,
+// which has no upper edge to interpolate toward.
+func quantile(bounds []float64, cum []int64, q float64) float64 {
+	total := cum[len(cum)-1]
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	idx := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if idx >= len(bounds) {
+		return bounds[len(bounds)-1]
+	}
+	lo, clo := 0.0, int64(0)
+	if idx > 0 {
+		lo, clo = bounds[idx-1], cum[idx-1]
+	}
+	hi := bounds[idx]
+	in := cum[idx] - clo
+	if in == 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-float64(clo))/float64(in)
+}
+
+// histogramSnapshot builds the JSON shape for one histogram, deriving the
+// mean and interpolated quantiles from the captured bucket state.
+func histogramSnapshot(h *Histogram) HistogramSnapshot {
+	cum, count, sum := h.snapshot()
+	hj := HistogramSnapshot{Count: count, Sum: sum}
+	if count > 0 {
+		hj.Mean = sum / float64(count)
+		hj.P50 = quantile(h.bounds, cum, 0.50)
+		hj.P90 = quantile(h.bounds, cum, 0.90)
+		hj.P99 = quantile(h.bounds, cum, 0.99)
+	}
+	for i, bound := range h.bounds {
+		hj.Buckets = append(hj.Buckets, HistogramBucket{LE: formatFloat(bound), Cumulative: cum[i]})
+	}
+	hj.Buckets = append(hj.Buckets, HistogramBucket{LE: "+Inf", Cumulative: cum[len(cum)-1]})
+	return hj
 }
 
 // MetricsSnapshot is a point-in-time export of a full registry — the JSON
@@ -366,13 +419,7 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		out.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
-		cum, count, sum := h.snapshot()
-		hj := HistogramSnapshot{Count: count, Sum: sum}
-		for i, bound := range h.bounds {
-			hj.Buckets = append(hj.Buckets, HistogramBucket{LE: formatFloat(bound), Cumulative: cum[i]})
-		}
-		hj.Buckets = append(hj.Buckets, HistogramBucket{LE: "+Inf", Cumulative: cum[len(cum)-1]})
-		out.Histograms[name] = hj
+		out.Histograms[name] = histogramSnapshot(h)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -182,5 +183,65 @@ func TestBucketHelpers(t *testing.T) {
 	exp := ExponentialBuckets(2, 4, 3)
 	if exp[0] != 2 || exp[1] != 8 || exp[2] != 32 {
 		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+}
+
+// TestHistogramQuantiles pins the snapshot's derived statistics on a
+// hand-computable distribution: 100 uniform samples over (0, 10] in buckets
+// {1,..,10} put exactly 10 in each, so interpolated quantiles are exact.
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mnsim_test_quant", LinearBuckets(1, 1, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	hj := histogramSnapshot(h)
+	if hj.Count != 100 {
+		t.Fatalf("count = %d, want 100", hj.Count)
+	}
+	if got, want := hj.Mean, 5.05; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{{"p50", hj.P50, 5}, {"p90", hj.P90, 9}, {"p99", hj.P99, 9.9}} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileEdges: empty histograms report zeros, single-bucket
+// mass interpolates from the bucket's lower edge, and ranks landing in the
+// +Inf bucket clamp to the last finite bound.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("mnsim_test_quant_empty", []float64{1, 2})
+	ej := histogramSnapshot(empty)
+	if ej.Mean != 0 || ej.P50 != 0 || ej.P99 != 0 {
+		t.Errorf("empty histogram stats nonzero: %+v", ej)
+	}
+
+	// All mass in the first bucket: p50 interpolates across (0, 4].
+	first := r.Histogram("mnsim_test_quant_first", []float64{4, 8})
+	for i := 0; i < 10; i++ {
+		first.Observe(2)
+	}
+	fj := histogramSnapshot(first)
+	if got, want := fj.P50, 2.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("first-bucket p50 = %g, want %g", got, want)
+	}
+
+	// Mass beyond the last bound clamps to it rather than extrapolating
+	// into the unbounded +Inf bucket.
+	inf := r.Histogram("mnsim_test_quant_inf", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		inf.Observe(50)
+	}
+	ij := histogramSnapshot(inf)
+	if ij.P50 != 2 || ij.P99 != 2 {
+		t.Errorf("+Inf-bucket quantiles = %g/%g, want clamp to 2", ij.P50, ij.P99)
 	}
 }
