@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // shows up in the bench trajectory even when wall time hides it behind
 // machine noise.
 func BenchmarkSolve(b *testing.B) {
-	for _, size := range []int{16, 32, 64} {
+	for _, size := range []int{16, 32, 64, 256} {
 		b.Run(benchName(size), func(b *testing.B) {
 			dev := device.RRAM()
 			rng := rand.New(rand.NewSource(1))
@@ -28,7 +29,7 @@ func BenchmarkSolve(b *testing.B) {
 			for i := range vin {
 				vin[i] = 2 * dev.ReadVoltage * rng.Float64()
 			}
-			var newton, cg, flops int64
+			var newton, cg, flops, refreshes int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := c.Solve(vin, SolveOptions{})
@@ -38,12 +39,56 @@ func BenchmarkSolve(b *testing.B) {
 				newton += int64(res.NewtonIters)
 				cg += int64(res.CGIters)
 				flops += res.Diag.Cost.Total().Flops
+				refreshes += int64(res.Diag.PrecondRefreshes)
 			}
 			b.ReportMetric(float64(newton)/float64(b.N), "newton-iters/op")
 			b.ReportMetric(float64(cg)/float64(b.N), "cg-iters/op")
 			b.ReportMetric(float64(flops)/float64(b.N), "flops/op")
+			b.ReportMetric(float64(refreshes)/float64(b.N), "precond-refreshes/op")
 		})
 	}
+}
+
+// BenchmarkSolveWarm times the warm-start path: one SolverState threaded
+// through a stream of solves whose inputs drift deterministically, the
+// shape of a DSE candidate evaluation or Monte-Carlo trial sequence. The
+// interesting metric is cg-iters/op relative to the cold BenchmarkSolve.
+func BenchmarkSolveWarm(b *testing.B) {
+	const size = 64
+	dev := device.RRAM()
+	rng := rand.New(rand.NewSource(1))
+	c := &Crossbar{
+		M: size, N: size,
+		R:      randomR(size, size, dev, rng),
+		WireR:  2.5,
+		RSense: 1e3,
+		Dev:    dev,
+	}
+	base := make([]float64, size)
+	for i := range base {
+		base[i] = 2 * dev.ReadVoltage * rng.Float64()
+	}
+	vin := make([]float64, size)
+	st := NewSolverState()
+	var cg, refreshes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Deterministic per-iteration drift (no mid-loop rand): each solve
+		// sees a slightly different input, so the memo never hits and the
+		// warm start does real work.
+		scale := 1 + 1e-3*float64(i%7)
+		for m := range vin {
+			vin[m] = base[m] * scale
+		}
+		res, err := c.Solve(vin, SolveOptions{State: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cg += int64(res.CGIters)
+		refreshes += int64(res.Diag.PrecondRefreshes)
+	}
+	b.ReportMetric(float64(cg)/float64(b.N), "cg-iters/op")
+	b.ReportMetric(float64(refreshes)/float64(b.N), "precond-refreshes/op")
 }
 
 // BenchmarkSolveAccounting isolates the cost-accounting overhead at the
@@ -89,12 +134,5 @@ func BenchmarkSolveAccounting(b *testing.B) {
 }
 
 func benchName(size int) string {
-	switch size {
-	case 16:
-		return "16x16"
-	case 32:
-		return "32x32"
-	default:
-		return "64x64"
-	}
+	return fmt.Sprintf("%dx%d", size, size)
 }

@@ -38,6 +38,9 @@ var (
 	telNewtonIters   = telemetry.GetHistogram("mnsim_circuit_newton_iterations", telemetry.LinearBuckets(1, 1, 20))
 	telCGIters       = telemetry.GetHistogram("mnsim_circuit_cg_iterations_per_solve", telemetry.ExponentialBuckets(8, 2, 12))
 	telZeroWireSolve = telemetry.GetCounter("mnsim_circuit_zero_wire_solves_total")
+	telWarmSolves    = telemetry.GetCounter("mnsim_circuit_warm_start_solves_total")
+	telCacheHits     = telemetry.GetCounter("mnsim_circuit_solve_cache_hits_total")
+	telPreRefreshes  = telemetry.GetCounter("mnsim_circuit_precond_refreshes_total")
 )
 
 // Cost-attribution telemetry: process-wide flop/byte totals plus per-solve
@@ -49,6 +52,7 @@ var (
 	telPhaseAssembly = telemetry.GetHistogram("mnsim_circuit_phase_assembly_flops", telemetry.ExponentialBuckets(1024, 4, 14))
 	telPhaseNewton   = telemetry.GetHistogram("mnsim_circuit_phase_newton_update_flops", telemetry.ExponentialBuckets(1024, 4, 14))
 	telPhaseCG       = telemetry.GetHistogram("mnsim_circuit_phase_cg_flops", telemetry.ExponentialBuckets(1024, 4, 14))
+	telPhasePrecond  = telemetry.GetHistogram("mnsim_circuit_phase_precond_flops", telemetry.ExponentialBuckets(1024, 4, 14))
 	telPhaseDiag     = telemetry.GetHistogram("mnsim_circuit_phase_diagnostics_flops", telemetry.ExponentialBuckets(1024, 4, 14))
 )
 
@@ -165,10 +169,18 @@ func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64, cost *CostM
 			res.NodeV[c.rowNode(m, n)] = vin[m]
 		}
 	}
-	vmax := 0.0
+	// Bisection bracket: the column voltage is a conductance-weighted
+	// average of the inputs pulled toward ground by the sense resistor, so
+	// the root lies in [min(vin, 0), max(vin, 0)]. Bracketing from 0 to
+	// max(vin) — the historical bug — collapses the bracket to a point for
+	// all-non-positive inputs and silently reports 0 V.
+	vmin, vmax := 0.0, 0.0
 	for _, v := range vin {
 		if v > vmax {
 			vmax = v
+		}
+		if v < vmin {
+			vmin = v
 		}
 	}
 	cellI := func(vd, r float64) float64 {
@@ -188,7 +200,7 @@ func (c *Crossbar) solveZeroWire(ctx context.Context, vin []float64, cost *CostM
 			}
 			return sum - v/c.RSense
 		}
-		lo, hi := 0.0, vmax
+		lo, hi := vmin, vmax
 		for iter := 0; iter < 100; iter++ {
 			mid := (lo + hi) / 2
 			if f(mid) > 0 {
@@ -230,61 +242,134 @@ type assembly struct {
 func (c *Crossbar) assemble(vin []float64, ops *linalg.OpCount) (*assembly, error) {
 	n2 := 2 * c.M * c.N
 	a := &assembly{rhsBase: make([]float64, n2), srcG: c.wireG()}
-	gw := c.wireG()
+	// Exact triplet count — row wires M·(4(N−1)+1), column wires
+	// N·(4(M−1)+1), cells 4MN — so the append stream below never
+	// reallocates.
+	a.trips = make([]linalg.Coord, 0, 12*c.M*c.N-3*c.M-3*c.N)
+	// The pattern (triplet coordinates, cell slot map) depends only on the
+	// crossbar shape; every value — wire, sense, and calibrated cell
+	// conductances plus the source RHS — is filled by stampValues, the same
+	// code path a cached assembly restamps through, so reuse across solves
+	// is bit-neutral by construction.
 	// Row wires: source -> (m,0) -> (m,1) -> ... -> (m,N-1)
 	for m := 0; m < c.M; m++ {
 		first := c.rowNode(m, 0)
-		a.trips = append(a.trips, linalg.Coord{Row: first, Col: first, Val: gw})
-		a.rhsBase[first] += gw * vin[m]
+		a.trips = append(a.trips, linalg.Coord{Row: first, Col: first})
 		for n := 0; n+1 < c.N; n++ {
 			i, j := c.rowNode(m, n), c.rowNode(m, n+1)
 			a.trips = append(a.trips,
-				linalg.Coord{Row: i, Col: i, Val: gw},
-				linalg.Coord{Row: j, Col: j, Val: gw},
-				linalg.Coord{Row: i, Col: j, Val: -gw},
-				linalg.Coord{Row: j, Col: i, Val: -gw})
+				linalg.Coord{Row: i, Col: i},
+				linalg.Coord{Row: j, Col: j},
+				linalg.Coord{Row: i, Col: j},
+				linalg.Coord{Row: j, Col: i})
 		}
 	}
 	// Column wires: (0,n) -> (1,n) -> ... -> (M-1,n) -> RSense -> ground
-	gs := 1 / c.RSense
 	for n := 0; n < c.N; n++ {
 		for m := 0; m+1 < c.M; m++ {
 			i, j := c.colNode(m, n), c.colNode(m+1, n)
 			a.trips = append(a.trips,
-				linalg.Coord{Row: i, Col: i, Val: gw},
-				linalg.Coord{Row: j, Col: j, Val: gw},
-				linalg.Coord{Row: i, Col: j, Val: -gw},
-				linalg.Coord{Row: j, Col: i, Val: -gw})
+				linalg.Coord{Row: i, Col: i},
+				linalg.Coord{Row: j, Col: j},
+				linalg.Coord{Row: i, Col: j},
+				linalg.Coord{Row: j, Col: i})
 		}
 		last := c.colNode(c.M-1, n)
-		a.trips = append(a.trips, linalg.Coord{Row: last, Col: last, Val: gs})
+		a.trips = append(a.trips, linalg.Coord{Row: last, Col: last})
 	}
-	// Memristor cells: start from the calibrated linear conductance.
+	// Memristor cells.
 	a.memIdx = make([][4]int, c.M*c.N)
 	for m := 0; m < c.M; m++ {
 		for n := 0; n < c.N; n++ {
 			i, j := c.rowNode(m, n), c.colNode(m, n)
-			g := 1 / c.R[m][n]
 			base := len(a.trips)
 			a.trips = append(a.trips,
-				linalg.Coord{Row: i, Col: i, Val: g},
-				linalg.Coord{Row: j, Col: j, Val: g},
-				linalg.Coord{Row: i, Col: j, Val: -g},
-				linalg.Coord{Row: j, Col: i, Val: -g})
+				linalg.Coord{Row: i, Col: i},
+				linalg.Coord{Row: j, Col: j},
+				linalg.Coord{Row: i, Col: j},
+				linalg.Coord{Row: j, Col: i})
 			a.memIdx[m*c.N+n] = [4]int{base, base + 1, base + 2, base + 3}
 		}
 	}
+	c.stampValues(a, vin, ops)
 	mat, err := linalg.NewCSR(n2, a.trips)
 	if err != nil {
 		return nil, err
 	}
 	a.mat = mat
-	// Modeled assembly cost: one conductance inversion per cell, the
-	// triplet stream written once and scanned twice by the sort-and-merge
-	// CSR build, and the CSR arrays written once.
-	ops.CountFlops(int64(c.M) * int64(c.N))
-	ops.CountBytes(3*coordBytes*int64(len(a.trips)) + 16*int64(len(mat.Vals)))
+	// Modeled pattern-build cost: the triplet stream scanned twice by the
+	// counting-sort CSR build and the CSR arrays written once (stampValues
+	// charged the value fill).
+	ops.CountBytes(2*coordBytes*int64(len(a.trips)) + 16*int64(len(mat.Vals)))
 	return a, nil
+}
+
+// stampValues (re)writes every triplet value and the source right-hand side
+// from the current crossbar parameters and drive vector: wire and sense
+// conductances, calibrated cell conductances, and the source currents. Both
+// a fresh assembly and a SolverState-cached one fill values here, so the
+// matrix a solve starts from is bit-identical either way.
+func (c *Crossbar) stampValues(a *assembly, vin []float64, ops *linalg.OpCount) {
+	gw := c.wireG()
+	a.srcG = gw
+	for i := range a.rhsBase {
+		a.rhsBase[i] = 0
+	}
+	k := 0
+	for m := 0; m < c.M; m++ {
+		a.rhsBase[c.rowNode(m, 0)] += gw * vin[m]
+		a.trips[k].Val = gw
+		k++
+		for n := 0; n+1 < c.N; n++ {
+			a.trips[k].Val = gw
+			a.trips[k+1].Val = gw
+			a.trips[k+2].Val = -gw
+			a.trips[k+3].Val = -gw
+			k += 4
+		}
+	}
+	gs := 1 / c.RSense
+	for n := 0; n < c.N; n++ {
+		for m := 0; m+1 < c.M; m++ {
+			a.trips[k].Val = gw
+			a.trips[k+1].Val = gw
+			a.trips[k+2].Val = -gw
+			a.trips[k+3].Val = -gw
+			k += 4
+		}
+		a.trips[k].Val = gs
+		k++
+	}
+	// Cells start from the calibrated linear conductance.
+	for m := 0; m < c.M; m++ {
+		for n := 0; n < c.N; n++ {
+			g := 1 / c.R[m][n]
+			idx := a.memIdx[m*c.N+n]
+			a.trips[idx[0]].Val = g
+			a.trips[idx[1]].Val = g
+			a.trips[idx[2]].Val = -g
+			a.trips[idx[3]].Val = -g
+		}
+	}
+	// Modeled stamping cost: one conductance inversion per cell, the
+	// triplet values written once, the RHS written once.
+	ops.CountFlops(int64(c.M) * int64(c.N))
+	ops.CountBytes(coordBytes*int64(len(a.trips)) + 16*int64(len(a.rhsBase)))
+}
+
+// precondBlocks describes the crossbar's wire chains as preconditioner
+// blocks: M contiguous row chains (stride 1) and N strided column chains
+// (stride N), each tridiagonal in its local index — the structure the
+// block-Jacobi preconditioner factors with bandwidth-1 banded Cholesky.
+func (c *Crossbar) precondBlocks() []linalg.Block {
+	blocks := make([]linalg.Block, 0, c.M+c.N)
+	for m := 0; m < c.M; m++ {
+		blocks = append(blocks, linalg.Block{Start: m * c.N, Stride: 1, Len: c.N})
+	}
+	for n := 0; n < c.N; n++ {
+		blocks = append(blocks, linalg.Block{Start: c.M*c.N + n, Stride: c.N, Len: c.M})
+	}
+	return blocks
 }
 
 // restamp rewrites the memristor companion-model conductances for the
@@ -318,6 +403,16 @@ func (c *Crossbar) restamp(a *assembly, v []float64, ops *linalg.OpCount) []floa
 	return rhs
 }
 
+// Preconditioner kinds SolveOptions.Precond accepts.
+const (
+	// PrecondBlockJacobi factors each wire-chain block (row chains and
+	// column chains, tridiagonal in their local index) with banded
+	// Cholesky — the structure-aware default.
+	PrecondBlockJacobi = "block-jacobi"
+	// PrecondJacobi is the legacy diagonal preconditioner.
+	PrecondJacobi = "jacobi"
+)
+
 // SolveOptions tunes the non-linear solve.
 type SolveOptions struct {
 	// Tol is the Newton convergence threshold on the max node-voltage
@@ -328,6 +423,18 @@ type SolveOptions struct {
 	// CGTol is the relative tolerance of each inner linear solve;
 	// default 1e-10.
 	CGTol float64
+	// Precond selects the inner linear preconditioner: PrecondBlockJacobi
+	// (the default, resolved in on empty) or PrecondJacobi. The resolved
+	// value is recorded in Diagnostics.Precond and in snapshots, so a
+	// replay runs the path the original solve ran.
+	Precond string `json:"precond,omitempty"`
+	// State, when non-nil, carries reusable solver structures across
+	// repeated solves of same-shaped crossbars: the assembled sparsity
+	// pattern, the block preconditioner, the previous operating point
+	// (warm start), and a memo that answers bit-identical re-solves
+	// without running the solver. A state must be used from one strictly
+	// sequential solve stream; see SolverState.
+	State *SolverState `json:"-"`
 	// Diagnostics additionally computes the Jacobian condition estimate on
 	// successful solves (Diagnostics.CondEstimate); the estimate always
 	// runs on divergence. The convergence trajectory itself is recorded
@@ -372,6 +479,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			telPhaseAssembly.Observe(float64(d.Cost.Assembly.Flops))
 			telPhaseNewton.Observe(float64(d.Cost.NewtonUpdate.Flops))
 			telPhaseCG.Observe(float64(d.Cost.CGLoop.Flops))
+			telPhasePrecond.Observe(float64(d.Cost.Precond.Flops))
 			telPhaseDiag.Observe(float64(d.Cost.Diagnostics.Flops))
 		}
 	}()
@@ -389,6 +497,13 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	}
 	if opt.CGTol <= 0 {
 		opt.CGTol = 1e-10
+	}
+	switch opt.Precond {
+	case "":
+		opt.Precond = PrecondBlockJacobi
+	case PrecondBlockJacobi, PrecondJacobi:
+	default:
+		return nil, fmt.Errorf("circuit: unknown preconditioner %q", opt.Precond)
 	}
 	// Cancellation contract: ctx is checked before every linear (CG) solve
 	// and per bisection column, so an aborted sweep stops burning CPU
@@ -411,7 +526,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		telemetry.EmitEvent(telemetry.EvSolveStart, jid, map[string]any{
 			"m": c.M, "n": c.N, "wire_r": c.WireR, "rsense": c.RSense,
 			"linear": c.Linear, "tol": opt.Tol, "max_newton": opt.MaxNewton,
-			"cg_tol": opt.CGTol,
+			"cg_tol": opt.CGTol, "precond": opt.Precond,
 		})
 		defer func() {
 			data := map[string]any{"ok": err == nil}
@@ -420,6 +535,16 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 				data["cg_iters"] = res.CGIters
 			}
 			if d := diagOf(res, err); d != nil {
+				if d.Precond != "" {
+					data["precond"] = d.Precond
+					data["precond_refreshes"] = d.PrecondRefreshes
+				}
+				if d.WarmStart {
+					data["warm_start"] = true
+				}
+				if d.CacheHit {
+					data["cache_hit"] = true
+				}
 				if d.Cost != nil {
 					data["cost"] = d.Cost
 					data["flops"] = d.Cost.Total().Flops
@@ -446,24 +571,96 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		}
 		return res, err
 	}
-	a, err := c.assemble(vin, cost.assembly())
-	if err != nil {
-		return nil, err
+	st := opt.State
+	// Memo: a re-solve with bit-identical inputs returns the memoized
+	// result (deep-copied) without touching the solver, so solving the
+	// same crossbar with and without a reused state stays bit-identical.
+	if hit := st.memoLookup(c, vin, opt); hit != nil {
+		telCacheHits.Inc()
+		res = hit
+		return res, nil
 	}
-	diag := &Diagnostics{Path: "newton-cg", Cost: cost}
+	var a *assembly
+	if st != nil && st.asm != nil && st.asmM == c.M && st.asmN == c.N {
+		// Reuse the cached sparsity pattern: re-stamp values and refresh
+		// the CSR via UpdateValues, whose per-slot summation order matches
+		// NewCSR's, so the matrix is bit-identical to a fresh assembly.
+		a = st.asm
+		c.stampValues(a, vin, cost.assembly())
+		if err := a.mat.UpdateValues(a.trips); err != nil {
+			return nil, err
+		}
+		cost.assembly().CountBytes(16*int64(len(a.trips)) + 8*int64(len(a.mat.Vals)))
+	} else {
+		a, err = c.assemble(vin, cost.assembly())
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			st.asm, st.asmM, st.asmN = a, c.M, c.N
+			st.pre = nil
+		}
+	}
+	diag := &Diagnostics{Path: "newton-cg", Precond: opt.Precond, Cost: cost}
 	if c.Linear {
 		diag.Path = "linear-cg"
 	}
-	res = &Result{}
-	// Initial linear solve at calibrated resistances.
-	v, it, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop()})
-	if err != nil {
-		return nil, fmt.Errorf("circuit: linear solve: %w", err)
+	// Structure-aware preconditioner, factored from the current calibrated
+	// matrix at every solve start (so no numeric state beyond the warm
+	// vector crosses solves), then frozen across Newton iterations
+	// (modified Newton) and refreshed only when CG effort regresses.
+	var pre linalg.Preconditioner
+	var bj *linalg.BlockJacobi
+	if opt.Precond == PrecondBlockJacobi {
+		if st != nil && st.pre != nil {
+			bj = st.pre
+			if err := bj.Refresh(a.mat, cost.precond()); err != nil {
+				return nil, fmt.Errorf("circuit: preconditioner: %w", err)
+			}
+		} else {
+			bj, err = linalg.NewBlockJacobi(a.mat, c.precondBlocks(), 1, cost.precond())
+			if err != nil {
+				return nil, fmt.Errorf("circuit: preconditioner: %w", err)
+			}
+			if st != nil {
+				st.pre = bj
+			}
+		}
+		pre = bj
 	}
-	res.CGIters += it
-	res.NewtonIters = 1
-	diag.SetupCGIters = it
+	res = &Result{}
+	n2 := 2 * c.M * c.N
+	// baseline is the inner CG iteration count of the first solve after
+	// the last (re)factorization — the refresh policy's reference point.
+	baseline := -1
+	var v []float64
+	if !c.Linear && st.warmFor(c) {
+		// Warm start: resume Newton from the previous operating point; the
+		// setup linear solve is skipped entirely.
+		v = append([]float64(nil), st.v...)
+		cost.assembly().CountBytes(16 * int64(n2))
+		diag.WarmStart = true
+		telWarmSolves.Inc()
+	} else {
+		var x0 []float64
+		if c.Linear && st.warmFor(c) {
+			x0 = st.v
+			diag.WarmStart = true
+			telWarmSolves.Inc()
+		}
+		// Initial linear solve at calibrated resistances.
+		var it int
+		v, it, err = linalg.SolveCG(a.mat, a.rhsBase, x0, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop(), Precond: pre})
+		if err != nil {
+			return nil, fmt.Errorf("circuit: linear solve: %w", err)
+		}
+		res.CGIters += it
+		res.NewtonIters = 1
+		diag.SetupCGIters = it
+		baseline = it
+	}
 	if !c.Linear {
+		needRefresh := false
 		for iter := 0; iter < opt.MaxNewton; iter++ {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("circuit: Newton iteration aborted: %w", err)
@@ -473,9 +670,31 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 				return nil, err
 			}
 			cost.newtonUpdate().CountBytes(8*int64(len(a.mat.Vals)) + 16*int64(len(a.trips)))
-			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop()})
+			if bj != nil && needRefresh {
+				// The frozen factorization fell behind the Newton stamps;
+				// refactor against the current matrix and re-baseline.
+				if err := bj.Refresh(a.mat, cost.precond()); err != nil {
+					return nil, fmt.Errorf("circuit: preconditioner refresh: %w", err)
+				}
+				diag.PrecondRefreshes++
+				telPreRefreshes.Inc()
+				baseline = -1
+				needRefresh = false
+			}
+			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop(), Precond: pre})
 			if err != nil {
 				return nil, fmt.Errorf("circuit: Newton linear solve: %w", err)
+			}
+			if bj != nil {
+				// Deterministic modified-Newton refresh policy: refresh
+				// before the next solve when this one needed more than
+				// 2·baseline+8 iterations — regression past the slack means
+				// the frozen factorization stopped pulling its weight.
+				if baseline < 0 {
+					baseline = it
+				} else if it > 2*baseline+8 {
+					needRefresh = true
+				}
 			}
 			res.CGIters += it
 			res.NewtonIters++
@@ -505,7 +724,13 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 				telemetry.Log().Warn("newton iteration diverged",
 					"size", fmt.Sprintf("%dx%d", c.M, c.N), "max_newton", opt.MaxNewton, "tol", opt.Tol)
 				if telemetry.JournalOn() {
-					snapPath = saveSnapshot("divergence", c.NewSnapshot(vin, opt, nil, derr))
+					snap := c.NewSnapshot(vin, opt, nil, derr)
+					if diag.WarmStart {
+						// Record the warm-start vector the trajectory began
+						// from, so a replay reproduces it bit-identically.
+						snap.WarmV = st.WarmV()
+					}
+					snapPath = saveSnapshot("divergence", snap)
 				}
 				return nil, derr
 			}
@@ -519,6 +744,9 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	res.NodeV = v
 	res.VOut = c.extractVOut(v)
 	res.Power = c.sourcePower(vin, v)
+	// A converged solve feeds the state: its operating point warm-starts
+	// the next solve, and its result answers bit-identical re-solves.
+	st.store(c, vin, opt, res)
 	return res, nil
 }
 

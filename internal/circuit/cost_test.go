@@ -142,13 +142,20 @@ func TestConvergenceAnalytics(t *testing.T) {
 	if conv == nil {
 		t.Fatal("no convergence analytics on nonlinear solve")
 	}
-	if len(res.Diag.Residuals) >= 2 {
+	// The decay rate is defined over the nonzero residual prefix — a
+	// trailing exact zero is the warm-start early exit confirming
+	// convergence for free.
+	nonzero := res.Diag.Residuals
+	for len(nonzero) > 0 && nonzero[len(nonzero)-1] == 0 {
+		nonzero = nonzero[:len(nonzero)-1]
+	}
+	if len(nonzero) >= 2 {
 		if !(conv.DecayRate > 0) || conv.DecayRate >= stagnationRatio {
 			t.Errorf("healthy solve decay rate = %v, want in (0, %v)", conv.DecayRate, stagnationRatio)
 		}
-		if conv.Stagnated {
-			t.Errorf("healthy solve flagged stagnated (residuals %v)", res.Diag.Residuals)
-		}
+	}
+	if conv.Stagnated {
+		t.Errorf("healthy solve flagged stagnated (residuals %v)", res.Diag.Residuals)
 	}
 	if conv.CGPerNewton <= 0 {
 		t.Errorf("CGPerNewton = %v, want > 0", conv.CGPerNewton)

@@ -55,8 +55,24 @@ type Diagnostics struct {
 	// "zero-wire-bisection" (the collapsed-node ideal-interconnect limit).
 	Path string `json:"path"`
 	// SetupCGIters is the CG iteration count of the initial linear solve
-	// at calibrated resistances (zero on the bisection path).
+	// at calibrated resistances (zero on the bisection path and on
+	// warm-started non-linear solves, which skip the setup solve).
 	SetupCGIters int `json:"setup_cg_iters,omitempty"`
+	// Precond names the inner linear preconditioner ("block-jacobi",
+	// "jacobi"); empty on the bisection path, which has no linear core.
+	Precond string `json:"precond,omitempty"`
+	// PrecondRefreshes counts mid-Newton preconditioner refactorizations:
+	// the factorization is frozen across Newton iterations
+	// (modified-Newton) and refreshed only when the inner CG iteration
+	// count regresses past its post-factorization baseline.
+	PrecondRefreshes int `json:"precond_refreshes,omitempty"`
+	// WarmStart marks a solve that resumed from a SolverState operating
+	// point instead of running the setup linear solve.
+	WarmStart bool `json:"warm_start,omitempty"`
+	// CacheHit marks a solve answered from the SolverState result memo —
+	// the inputs were bit-identical to the previous solve, so its result
+	// was returned without touching the solver (Cost is nil).
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Residuals is the max node-voltage update (volts) after each Newton
 	// iteration — the convergence trajectory. Empty for linear solves.
 	Residuals []float64 `json:"residuals,omitempty"`
@@ -93,14 +109,19 @@ type CostModel struct {
 	NewtonUpdate linalg.OpCount `json:"newton_update"`
 	// CGLoop is the inner linear-solver cost: every CG iteration of the
 	// setup solve and the Newton steps (or the per-column bisection loop
-	// on the zero-wire path).
+	// on the zero-wire path). Preconditioner applies inside CG land here.
 	CGLoop linalg.OpCount `json:"cg_loop"`
+	// Precond is the preconditioner setup cost: block gathering and the
+	// banded Cholesky factorization of every wire-chain block, initially
+	// and on each modified-Newton refresh. Applies are charged to CGLoop,
+	// where they happen.
+	Precond linalg.OpCount `json:"precond"`
 	// Diagnostics is the cost of optional numerical diagnostics — the
 	// Jacobian condition estimate's power/inverse iterations.
 	Diagnostics linalg.OpCount `json:"diagnostics"`
 }
 
-// Total folds the four phases into one accumulator; nil-safe.
+// Total folds the five phases into one accumulator; nil-safe.
 func (c *CostModel) Total() linalg.OpCount {
 	var t linalg.OpCount
 	if c == nil {
@@ -109,6 +130,7 @@ func (c *CostModel) Total() linalg.OpCount {
 	t.Add(&c.Assembly)
 	t.Add(&c.NewtonUpdate)
 	t.Add(&c.CGLoop)
+	t.Add(&c.Precond)
 	t.Add(&c.Diagnostics)
 	return t
 }
@@ -134,6 +156,13 @@ func (c *CostModel) cgLoop() *linalg.OpCount {
 		return nil
 	}
 	return &c.CGLoop
+}
+
+func (c *CostModel) precond() *linalg.OpCount {
+	if c == nil {
+		return nil
+	}
+	return &c.Precond
 }
 
 func (c *CostModel) diagnostics() *linalg.OpCount {
@@ -185,8 +214,16 @@ func (d *Diagnostics) analyze() {
 		}
 		conv.CGPerNewton = float64(sum) / float64(len(d.CGIters))
 	}
-	if steps := len(d.Residuals); steps >= 2 {
-		first, last := d.Residuals[0], d.Residuals[steps-1]
+	// A trailing exactly-zero residual means the final linear solve
+	// reproduced the operating point bit-for-bit (the warm-start early
+	// exit): convergence is exact there, so the contraction analysis runs
+	// on the nonzero prefix where a decay rate is defined.
+	trimmed := d.Residuals
+	for len(trimmed) > 0 && trimmed[len(trimmed)-1] == 0 {
+		trimmed = trimmed[:len(trimmed)-1]
+	}
+	if steps := len(trimmed); steps >= 2 {
+		first, last := trimmed[0], trimmed[steps-1]
 		if first > 0 && last > 0 {
 			conv.DecayRate = jsonFinite(math.Pow(last/first, 1/float64(steps-1)))
 		}
@@ -194,7 +231,7 @@ func (d *Diagnostics) analyze() {
 		if w > steps-1 {
 			w = steps - 1
 		}
-		from, to := d.Residuals[steps-1-w], d.Residuals[steps-1]
+		from, to := trimmed[steps-1-w], trimmed[steps-1]
 		if from > 0 && to > 0 && math.Pow(to/from, 1/float64(w)) > stagnationRatio {
 			conv.Stagnated = true
 		}
@@ -285,6 +322,10 @@ type Snapshot struct {
 
 	Vin     []float64    `json:"vin"`
 	Options SolveOptions `json:"options"`
+	// WarmV is the warm-start operating point the solve resumed from, when
+	// it ran against a SolverState holding one. A replay seeds a state from
+	// it so the warm-started trajectory reproduces bit-identically.
+	WarmV []float64 `json:"warm_v,omitempty"`
 	// Transient carries the resolved transient options for Kind
 	// "transient" snapshots.
 	Transient *TransientOptions `json:"transient,omitempty"`
@@ -337,6 +378,8 @@ func (s *Snapshot) Validate() error {
 		return fmt.Errorf("circuit: transient snapshot missing transient options")
 	case len(s.Vin) != s.M:
 		return fmt.Errorf("circuit: snapshot vin length %d, want %d", len(s.Vin), s.M)
+	case s.WarmV != nil && len(s.WarmV) != 2*s.M*s.N:
+		return fmt.Errorf("circuit: snapshot warm_v length %d, want %d", len(s.WarmV), 2*s.M*s.N)
 	}
 	return s.Crossbar().Validate()
 }

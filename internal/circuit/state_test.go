@@ -1,0 +1,312 @@
+package circuit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mnsim/internal/device"
+)
+
+// TestSolverStateDeterminism is the state-reuse bit-identity contract:
+// solving the same crossbar with and without a reused SolverState yields
+// bit-identical VOut. A fresh state changes nothing (only warm data ever
+// alters the path), and a re-solve of bit-identical inputs is answered from
+// the memo with a bit-identical copy.
+func TestSolverStateDeterminism(t *testing.T) {
+	c, vin := costCrossbar(8, 6)
+	bare, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewSolverState()
+	first, err := c.Solve(vin, SolveOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Solve(vin, SolveOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range bare.VOut {
+		if math.Float64bits(first.VOut[n]) != math.Float64bits(bare.VOut[n]) {
+			t.Fatalf("col %d: fresh-state solve differs from stateless (%v vs %v)",
+				n, first.VOut[n], bare.VOut[n])
+		}
+		if math.Float64bits(second.VOut[n]) != math.Float64bits(bare.VOut[n]) {
+			t.Fatalf("col %d: reused-state solve differs from stateless (%v vs %v)",
+				n, second.VOut[n], bare.VOut[n])
+		}
+	}
+	if first.Diag.CacheHit {
+		t.Error("first solve through a fresh state flagged as cache hit")
+	}
+	if !second.Diag.CacheHit {
+		t.Error("bit-identical re-solve not answered from the memo")
+	}
+	if second.Diag.Cost != nil {
+		t.Error("memo hit carries a cost model — no solver work should have run")
+	}
+	// The memoized copy must be isolated from the caller's result.
+	second.VOut[0] = 42
+	third, err := c.Solve(vin, SolveOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.VOut[0] == 42 {
+		t.Error("memo result aliases a previously returned slice")
+	}
+}
+
+// TestSolverStateWarmStart: a warm-started solve of a perturbed input must
+// converge to the cold answer within tolerance while skipping the setup
+// solve and spending fewer total CG iterations.
+func TestSolverStateWarmStart(t *testing.T) {
+	c, vin := costCrossbar(12, 10)
+	st := NewSolverState()
+	if _, err := c.Solve(vin, SolveOptions{State: st}); err != nil {
+		t.Fatal(err)
+	}
+	vin2 := append([]float64(nil), vin...)
+	for i := range vin2 {
+		vin2[i] *= 1.02
+	}
+	cold, err := c.Solve(vin2, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Solve(vin2, SolveOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Diag.WarmStart {
+		t.Fatal("second state solve did not warm-start")
+	}
+	if warm.Diag.SetupCGIters != 0 {
+		t.Errorf("warm start still ran the setup solve (%d iters)", warm.Diag.SetupCGIters)
+	}
+	for n := range cold.VOut {
+		if math.Abs(warm.VOut[n]-cold.VOut[n]) > 1e-8*(1+math.Abs(cold.VOut[n])) {
+			t.Fatalf("col %d: warm %v vs cold %v", n, warm.VOut[n], cold.VOut[n])
+		}
+	}
+	if warm.CGIters >= cold.CGIters {
+		t.Errorf("warm solve spent %d CG iters, cold %d", warm.CGIters, cold.CGIters)
+	}
+}
+
+// TestSolverStateLinearWarmStart: linear solves warm-start their single CG
+// solve through the state as well.
+func TestSolverStateLinearWarmStart(t *testing.T) {
+	c, vin := costCrossbar(8, 8)
+	c.Linear = true
+	st := NewSolverState()
+	if _, err := c.Solve(vin, SolveOptions{State: st}); err != nil {
+		t.Fatal(err)
+	}
+	vin2 := append([]float64(nil), vin...)
+	vin2[0] *= 1.01
+	cold, err := c.Solve(vin2, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Solve(vin2, SolveOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Diag.WarmStart {
+		t.Fatal("linear state solve did not warm-start")
+	}
+	for n := range cold.VOut {
+		if math.Abs(warm.VOut[n]-cold.VOut[n]) > 1e-8*(1+math.Abs(cold.VOut[n])) {
+			t.Fatalf("col %d: warm %v vs cold %v", n, warm.VOut[n], cold.VOut[n])
+		}
+	}
+}
+
+// TestSolverStateShapeChange: a state survives being reused across crossbars
+// of different shapes — the cached pattern is rebuilt, not misapplied.
+func TestSolverStateShapeChange(t *testing.T) {
+	st := NewSolverState()
+	c1, vin1 := costCrossbar(6, 4)
+	if _, err := c1.Solve(vin1, SolveOptions{State: st}); err != nil {
+		t.Fatal(err)
+	}
+	c2, vin2 := costCrossbar(4, 6)
+	bare, err := c2.Solve(vin2, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := c2.Solve(vin2, SolveOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range bare.VOut {
+		if math.Float64bits(reused.VOut[n]) != math.Float64bits(bare.VOut[n]) {
+			t.Fatalf("col %d: shape-changed state solve differs (%v vs %v)",
+				n, reused.VOut[n], bare.VOut[n])
+		}
+	}
+}
+
+// TestPrecondSelection: both preconditioners agree on the answer, the
+// resolved kind is recorded, and an unknown kind is rejected.
+func TestPrecondSelection(t *testing.T) {
+	c, vin := costCrossbar(10, 10)
+	blk, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.Diag.Precond != PrecondBlockJacobi {
+		t.Errorf("default precond = %q, want %q", blk.Diag.Precond, PrecondBlockJacobi)
+	}
+	jac, err := c.Solve(vin, SolveOptions{Precond: PrecondJacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jac.Diag.Precond != PrecondJacobi {
+		t.Errorf("precond = %q, want %q", jac.Diag.Precond, PrecondJacobi)
+	}
+	for n := range blk.VOut {
+		if math.Abs(blk.VOut[n]-jac.VOut[n]) > 1e-7*(1+math.Abs(jac.VOut[n])) {
+			t.Fatalf("col %d: block-jacobi %v vs jacobi %v", n, blk.VOut[n], jac.VOut[n])
+		}
+	}
+	if blk.CGIters >= jac.CGIters {
+		t.Errorf("block-jacobi spent %d CG iters, jacobi %d — expected a reduction",
+			blk.CGIters, jac.CGIters)
+	}
+	if blk.Diag.Cost.Precond.BandFactorizations == 0 {
+		t.Error("block-jacobi solve booked no band factorizations")
+	}
+	if blk.Diag.Cost.CGLoop.PrecondApplies == 0 {
+		t.Error("block-jacobi solve booked no preconditioner applies in the CG loop")
+	}
+	if _, err := c.Solve(vin, SolveOptions{Precond: "cholesky"}); err == nil {
+		t.Error("unknown preconditioner accepted")
+	}
+}
+
+// zeroWireReference cross-checks the bisection path against the full MNA
+// path at near-zero wire resistance.
+func zeroWireReference(t *testing.T, vin []float64) ([]float64, []float64) {
+	t.Helper()
+	dev := device.RRAM()
+	r := [][]float64{
+		{200e3, 400e3, 800e3},
+		{300e3, 150e3, 600e3},
+		{900e3, 250e3, 120e3},
+		{500e3, 700e3, 350e3},
+	}
+	// WireR 1e-2 is small enough that interconnect drops are far below the
+	// comparison tolerance, but large enough to keep the MNA system well
+	// conditioned (smaller values leave CG residual error above the wire
+	// effect itself).
+	zero := &Crossbar{M: 4, N: 3, R: r, WireR: 0, RSense: 1e3, Dev: dev}
+	resist := &Crossbar{M: 4, N: 3, R: r, WireR: 1e-2, RSense: 1e3, Dev: dev}
+	zr, err := zero.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := resist.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return zr.VOut, rr.VOut
+}
+
+// TestZeroWireNegativeInputs: with all-negative inputs the column voltages
+// are negative; the historical [0, max(vin)] bracket collapsed to a point
+// and silently reported 0 V. The bisection must agree with the resistive
+// MNA path in the r → 0 limit.
+func TestZeroWireNegativeInputs(t *testing.T) {
+	vout, want := zeroWireReference(t, []float64{-0.12, -0.08, -0.15, -0.10})
+	for n := range vout {
+		if vout[n] >= 0 {
+			t.Errorf("col %d: all-negative inputs gave VOut %v, want < 0", n, vout[n])
+		}
+		if math.Abs(vout[n]-want[n]) > 1e-8+1e-5*math.Abs(want[n]) {
+			t.Errorf("col %d: bisection %v vs resistive reference %v", n, vout[n], want[n])
+		}
+	}
+}
+
+// TestZeroWireMixedSignInputs: with mixed-sign inputs the root can fall on
+// either side of zero; the bracket must span [min(vin,0), max(vin,0)].
+func TestZeroWireMixedSignInputs(t *testing.T) {
+	vout, want := zeroWireReference(t, []float64{0.12, -0.09, 0.05, -0.14})
+	for n := range vout {
+		if math.Abs(vout[n]-want[n]) > 1e-8+1e-5*math.Abs(want[n]) {
+			t.Errorf("col %d: bisection %v vs resistive reference %v", n, vout[n], want[n])
+		}
+	}
+}
+
+// TestZeroWireSignSymmetry: the sinh I–V law is odd, so negating every
+// input must negate every output exactly (up to bisection tolerance).
+func TestZeroWireSignSymmetry(t *testing.T) {
+	vin := []float64{0.12, 0.08, 0.15, 0.10}
+	neg := make([]float64, len(vin))
+	for i := range vin {
+		neg[i] = -vin[i]
+	}
+	pos, _ := zeroWireReference(t, vin)
+	flipped, _ := zeroWireReference(t, neg)
+	for n := range pos {
+		if math.Abs(pos[n]+flipped[n]) > 1e-9 {
+			t.Errorf("col %d: V(vin) = %v but V(-vin) = %v — not sign-symmetric",
+				n, pos[n], flipped[n])
+		}
+	}
+}
+
+// TestWarmDivergenceSnapshotReplays: a warm-started divergence must record
+// its warm vector, and replaying through WarmState must reproduce the
+// recorded trajectory bit-identically.
+func TestWarmDivergenceSnapshotReplays(t *testing.T) {
+	dev := device.RRAM()
+	dev.NonlinearVc = 2e-3 // the known-bad divergence specimen
+	r := [][]float64{{100e3, 100e3}, {100e3, 100e3}}
+	c := &Crossbar{M: 2, N: 2, R: r, WireR: 1, RSense: 1500, Dev: dev}
+	vin := []float64{0.3, 0.3}
+	opt := SolveOptions{MaxNewton: 5}
+
+	// Seed a warm state from a converged solve of a tamer input.
+	st := NewSolverState()
+	tame := *c
+	tame.Dev = device.RRAM()
+	if _, err := tame.Solve([]float64{0.05, 0.05}, SolveOptions{State: st}); err != nil {
+		t.Fatal(err)
+	}
+	warmV := st.WarmV()
+
+	optSt := opt
+	optSt.State = st
+	_, err := c.Solve(vin, optSt)
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("want divergence, got %v", err)
+	}
+	if !de.Diag.WarmStart {
+		t.Fatal("diverged solve did not record its warm start")
+	}
+
+	// Replay: same inputs, state reseeded from the recorded warm vector.
+	optRe := opt
+	optRe.State = WarmState(warmV)
+	_, err2 := c.Solve(vin, optRe)
+	var de2 *DivergenceError
+	if !errors.As(err2, &de2) {
+		t.Fatalf("replay did not diverge: %v", err2)
+	}
+	if len(de.Diag.Residuals) != len(de2.Diag.Residuals) {
+		t.Fatalf("trajectory lengths differ: %d vs %d",
+			len(de.Diag.Residuals), len(de2.Diag.Residuals))
+	}
+	for i := range de.Diag.Residuals {
+		if math.Float64bits(de.Diag.Residuals[i]) != math.Float64bits(de2.Diag.Residuals[i]) {
+			t.Fatalf("step %d: residual %v vs replayed %v",
+				i, de.Diag.Residuals[i], de2.Diag.Residuals[i])
+		}
+	}
+}

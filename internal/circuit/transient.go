@@ -21,8 +21,10 @@ type TransientOptions struct {
 	// within SettleFrac of its final DC value. Default 1/512 (half an LSB
 	// at 8 bits).
 	SettleFrac float64
-	// Dt is the backward-Euler step; default NodeCap·RSense/4 with a floor
-	// of 1 ps.
+	// Dt is the backward-Euler step; the default resolves the dominant
+	// output pole, RSense·M·(NodeCap+CellCap)/50 — fifty steps per
+	// worst-case column time constant (the sense resistor driving all M
+	// column-node capacitances) — with a floor of 1 fs.
 	Dt float64
 	// MaxSteps bounds the integration; default 100000.
 	MaxSteps int
@@ -77,8 +79,16 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 	if err != nil {
 		return 0, err
 	}
+	// The conductance matrix shares the crossbar's wire-chain structure, so
+	// the block preconditioner serves both the DC target solve and — after
+	// a refresh against the capacitance-augmented matrix, which only adds
+	// to the same diagonal — every backward-Euler step.
+	pre, err := linalg.NewBlockJacobi(a.mat, c.precondBlocks(), 1, nil)
+	if err != nil {
+		return 0, fmt.Errorf("circuit: preconditioner: %w", err)
+	}
 	// DC target for the settling criterion.
-	final, _, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: 1e-10})
+	final, _, err := linalg.SolveCG(a.mat, a.rhsBase, nil, linalg.CGOptions{Tol: 1e-10, Precond: pre})
 	if err != nil {
 		return 0, fmt.Errorf("circuit: DC solve: %w", err)
 	}
@@ -101,6 +111,11 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 	mat, err := linalg.NewCSR(n2, trips)
 	if err != nil {
 		return 0, err
+	}
+	// The stepping matrix is constant, so one refresh preconditions every
+	// step of the integration.
+	if err := pre.Refresh(mat, nil); err != nil {
+		return 0, fmt.Errorf("circuit: preconditioner: %w", err)
 	}
 	v := make([]float64, n2) // discharged start
 	rhs := make([]float64, n2)
@@ -129,7 +144,7 @@ func (c *Crossbar) SettleTime(vin []float64, opt TransientOptions) (float64, err
 		for i := 0; i < n2; i++ {
 			rhs[i] += caps[i] / opt.Dt * v[i]
 		}
-		v, _, err = linalg.SolveCG(mat, rhs, v, linalg.CGOptions{Tol: 1e-9})
+		v, _, err = linalg.SolveCG(mat, rhs, v, linalg.CGOptions{Tol: 1e-9, Precond: pre})
 		if err != nil {
 			return 0, fmt.Errorf("circuit: transient step %d: %w", step, err)
 		}

@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bandToDense expands row-wise lower-band storage into a symmetric dense
+// matrix for reference arithmetic.
+func bandToDense(n, bw int, ab []float64) *Dense {
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k <= bw; k++ {
+			j := i - bw + k
+			if j < 0 {
+				continue
+			}
+			d.Set(i, j, ab[i*(bw+1)+k])
+			d.Set(j, i, ab[i*(bw+1)+k])
+		}
+	}
+	return d
+}
+
+// spdBand builds a random diagonally-dominant SPD band.
+func spdBand(n, bw int, rng *rand.Rand) []float64 {
+	ab := make([]float64, n*(bw+1))
+	for i := 0; i < n; i++ {
+		for k := 0; k < bw; k++ {
+			if i-bw+k >= 0 {
+				ab[i*(bw+1)+k] = -rng.Float64()
+			}
+		}
+		ab[i*(bw+1)+bw] = 2*float64(bw) + 1 + rng.Float64()
+	}
+	return ab
+}
+
+// TestBandCholSolveMatchesDense cross-checks the banded Cholesky solve
+// against the dense LU path on random SPD bands of several shapes.
+func TestBandCholSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{1, 0}, {2, 1}, {5, 1}, {9, 2}, {16, 3}, {33, 1}} {
+		n, bw := shape[0], shape[1]
+		ab := spdBand(n, bw, rng)
+		dense := bandToDense(n, bw, ab)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveDense(dense, b)
+		if err != nil {
+			t.Fatalf("n=%d bw=%d dense: %v", n, bw, err)
+		}
+		f, err := FactorBandChol(n, bw, ab, nil)
+		if err != nil {
+			t.Fatalf("n=%d bw=%d factor: %v", n, bw, err)
+		}
+		x := append([]float64(nil), b...)
+		f.SolveInPlace(x, nil)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d bw=%d x[%d] = %v, dense %v", n, bw, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBandCholRejectsIndefinite: a matrix with a negative pivot must fail
+// with ErrNotSPD rather than factor garbage.
+func TestBandCholRejectsIndefinite(t *testing.T) {
+	// diag(1, -1): second pivot negative.
+	ab := []float64{0, 1, 0, -1}
+	if _, err := FactorBandChol(2, 1, ab, nil); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("indefinite factor err = %v, want ErrNotSPD", err)
+	}
+}
+
+// TestBandCholRefactorInPlace: refilling the same band slice and
+// refactoring must reuse storage and track the new values.
+func TestBandCholRefactorInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, bw := 8, 1
+	ab := spdBand(n, bw, rng)
+	if _, err := FactorBandChol(n, bw, ab, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Refill with a fresh SPD band in the same slice and refactor.
+	fresh := spdBand(n, bw, rng)
+	copy(ab, fresh)
+	dense := bandToDense(n, bw, ab)
+	f, err := FactorBandChol(n, bw, ab, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i)
+	}
+	want, err := SolveDense(dense, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SolveInPlace(b, nil)
+	for i := range b {
+		if math.Abs(b[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("refactored x[%d] = %v, dense %v", i, b[i], want[i])
+		}
+	}
+}
+
+// countBandFactorRef re-derives the factorization flop count by walking the
+// same loop structure the kernel uses — the oracle for the closed formula.
+func countBandFactorRef(n, bw int) int64 {
+	var flops int64
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			flops += 2*int64(j-lo) + 1 // multiply-subtract pairs + div/sqrt
+		}
+	}
+	return flops
+}
+
+// countBandSolveRef mirrors SolveInPlace's loop structure.
+func countBandSolveRef(n, bw int) int64 {
+	var flops int64
+	for i := 0; i < n; i++ {
+		lo := i - bw
+		if lo < 0 {
+			lo = 0
+		}
+		flops += 2*int64(i-lo) + 1
+		hi := i + bw
+		if hi > n-1 {
+			hi = n - 1
+		}
+		flops += 2*int64(hi-i) + 1
+	}
+	return flops
+}
+
+// TestBandOpCountFormulas pins the closed-form band accounting against
+// loop-structure oracles across shapes, including n ≤ bw edge cases.
+func TestBandOpCountFormulas(t *testing.T) {
+	for _, shape := range [][2]int{{1, 0}, {1, 3}, {2, 1}, {3, 5}, {8, 1}, {17, 2}, {64, 1}} {
+		n, bw := shape[0], shape[1]
+		var f, s OpCount
+		f.CountBandFactor(n, bw)
+		s.CountBandSolve(n, bw)
+		if want := countBandFactorRef(n, bw); f.Flops != want {
+			t.Errorf("n=%d bw=%d factor flops = %d, want %d", n, bw, f.Flops, want)
+		}
+		if want := countBandSolveRef(n, bw); s.Flops != want {
+			t.Errorf("n=%d bw=%d solve flops = %d, want %d", n, bw, s.Flops, want)
+		}
+		if f.BandFactorizations != 1 {
+			t.Errorf("n=%d bw=%d BandFactorizations = %d, want 1", n, bw, f.BandFactorizations)
+		}
+	}
+}

@@ -28,6 +28,15 @@ package linalg
 //     its exact inner-loop flop count Σ_{j=1}^{n-1} (j + 2·j²), 16·n² bytes.
 //   - CountLUSolve(n): one forward+back substitution pair, 2·n²−n flops,
 //     16·n² bytes.
+//   - CountBandFactor(n, bw): one banded Cholesky factorization, its exact
+//     inner-loop flop count Σ_{i=0}^{n-1} (min(i,bw)+1)² (each row i does
+//     (w+1)² multiply-subtract/divide/sqrt ops at effective bandwidth
+//     w = min(i,bw)); 16·n·(bw+1) bytes.
+//   - CountBandSolve(n, bw): one banded forward+back substitution pair,
+//     2·(2·Σ_{i=0}^{n-1} min(i,bw) + n) flops, 16·n·(bw+1) + 32·n bytes.
+//   - CountPrecondApply(): one whole-preconditioner application (the
+//     per-kind arithmetic is charged by the kernels it invokes; this only
+//     bumps the invocation counter).
 type OpCount struct {
 	// Flops is the floating-point operation count (adds, multiplies,
 	// divides, and square roots each count one; see the package cost model
@@ -44,6 +53,12 @@ type OpCount struct {
 	Bytes int64 `json:"bytes,omitempty"`
 	// Factorizations counts dense LU factorizations.
 	Factorizations int64 `json:"factorizations,omitempty"`
+	// BandFactorizations counts banded Cholesky factorizations (one per
+	// preconditioner block per refresh).
+	BandFactorizations int64 `json:"band_factorizations,omitempty"`
+	// PrecondApplies counts whole-preconditioner applications (one per
+	// preconditioned CG iteration plus the setup apply).
+	PrecondApplies int64 `json:"precond_applies,omitempty"`
 }
 
 // Add folds another accumulator into o; nil-safe on both sides.
@@ -57,6 +72,8 @@ func (o *OpCount) Add(other *OpCount) {
 	o.Axpys += other.Axpys
 	o.Bytes += other.Bytes
 	o.Factorizations += other.Factorizations
+	o.BandFactorizations += other.BandFactorizations
+	o.PrecondApplies += other.PrecondApplies
 }
 
 // CountSpMV records one CSR sparse matrix-vector product with nnz stored
@@ -151,4 +168,52 @@ func (o *OpCount) CountLUSolve(n int) {
 	nn := int64(n)
 	o.Flops += 2*nn*nn - nn
 	o.Bytes += 16 * nn * nn
+}
+
+// bandSumW is Σ_{i=0}^{n-1} min(i, bw) — the total off-diagonal count of a
+// banded triangular factor.
+func bandSumW(n, bw int) int64 {
+	if bw > n-1 {
+		bw = n - 1
+	}
+	b, nn := int64(bw), int64(n)
+	return b*(b-1)/2 + b*(nn-b)
+}
+
+// CountBandFactor records one banded Cholesky factorization of dimension n
+// and bandwidth bw: row i costs (min(i,bw)+1)² flops (its multiply-subtract
+// pairs, divisions, and square root), summing to
+// Σ_{i=0}^{min(bw,n-1)-1} (i+1)² + (n−bw)·(bw+1)² for n > bw.
+func (o *OpCount) CountBandFactor(n, bw int) {
+	if o == nil {
+		return
+	}
+	o.BandFactorizations++
+	w := bw
+	if w > n-1 {
+		w = n - 1
+	}
+	ww, nn := int64(w), int64(n)
+	// Σ_{i=0}^{w-1} (i+1)² = w(w+1)(2w+1)/6, then (n−w) full-band rows.
+	o.Flops += ww*(ww+1)*(2*ww+1)/6 + (nn-ww)*(ww+1)*(ww+1)
+	o.Bytes += 16 * nn * int64(bw+1)
+}
+
+// CountBandSolve records one banded forward+back substitution pair:
+// 2·(2·Σ min(i,bw) + n) flops.
+func (o *OpCount) CountBandSolve(n, bw int) {
+	if o == nil {
+		return
+	}
+	o.Flops += 2 * (2*bandSumW(n, bw) + int64(n))
+	o.Bytes += 16*int64(n)*int64(bw+1) + 32*int64(n)
+}
+
+// CountPrecondApply records one whole-preconditioner application; the
+// arithmetic cost is charged by the kernels the apply invokes.
+func (o *OpCount) CountPrecondApply() {
+	if o == nil {
+		return
+	}
+	o.PrecondApplies++
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"mnsim/internal/telemetry"
 )
@@ -17,6 +16,7 @@ var (
 	telCGItersTotal   = telemetry.GetCounter("mnsim_linalg_cg_iterations_total")
 	telCGIterHist     = telemetry.GetHistogram("mnsim_linalg_cg_iterations", telemetry.ExponentialBuckets(1, 2, 14))
 	telCGNoConverge   = telemetry.GetCounter("mnsim_linalg_cg_no_convergence_total")
+	telCGBreakdowns   = telemetry.GetCounter("mnsim_linalg_cg_breakdowns_total")
 	telLUFactorsTotal = telemetry.GetCounter("mnsim_linalg_lu_factorizations_total")
 )
 
@@ -50,19 +50,39 @@ func NewCSR(n int, trips []Coord) (*CSR, error) {
 			return nil, fmt.Errorf("linalg: triplet (%d,%d) outside %d×%d", t.Row, t.Col, n, n)
 		}
 	}
-	// Sort triplet indices by (row, col) to find unique slots.
-	order := make([]int, len(trips))
-	for i := range order {
-		order[i] = i
+	// Order triplet indices by (row, col) to find unique slots: an O(nnz)
+	// counting pass buckets by row, then each row's handful of entries is
+	// insertion-sorted by column (stable, so duplicate summation order is
+	// the deterministic input order). MNA rows hold ~4–8 entries, so this
+	// stays linear where a global comparison sort would dominate the
+	// assembly of large crossbars.
+	rowStart := make([]int, n+1)
+	for _, t := range trips {
+		rowStart[t.Row+1]++
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := trips[order[a]], trips[order[b]]
-		if ta.Row != tb.Row {
-			return ta.Row < tb.Row
+	for r := 0; r < n; r++ {
+		rowStart[r+1] += rowStart[r]
+	}
+	order := make([]int, len(trips))
+	next := make([]int, n)
+	copy(next, rowStart[:n])
+	for i, t := range trips {
+		order[next[t.Row]] = i
+		next[t.Row]++
+	}
+	for r := 0; r < n; r++ {
+		seg := order[rowStart[r]:rowStart[r+1]]
+		for i := 1; i < len(seg); i++ {
+			for j := i; j > 0 && trips[seg[j]].Col < trips[seg[j-1]].Col; j-- {
+				seg[j], seg[j-1] = seg[j-1], seg[j]
+			}
 		}
-		return ta.Col < tb.Col
-	})
+	}
 	m := &CSR{N: n, RowPtr: make([]int, n+1), permMap: make([]int, len(trips))}
+	// len(trips) bounds the merged slot count, so the append streams below
+	// never reallocate.
+	m.ColIdx = make([]int, 0, len(trips))
+	m.Vals = make([]float64, 0, len(trips))
 	prevRow, prevCol := -1, -1
 	for _, idx := range order {
 		t := trips[idx]
@@ -136,28 +156,56 @@ func (m *CSR) Diagonal() []float64 {
 // iteration budget before reaching the requested tolerance.
 var ErrNoConvergence = errors.New("linalg: iterative solver did not converge")
 
+// BreakdownError is the typed form of a CG breakdown: the Krylov recurrence
+// met a direction with non-positive curvature (p·A·p ≤ 0 — the matrix is
+// not SPD, usually a bad stamp) or a non-finite scalar. errors.Is matches
+// ErrNoConvergence, so existing no-convergence handling catches breakdowns
+// too; errors.As recovers the iteration index and offending curvature.
+type BreakdownError struct {
+	// Iter is the iteration (1-based) at which the breakdown was detected.
+	Iter int
+	// PAp is the curvature p·A·p that triggered the guard (may be a
+	// finite non-positive value or NaN/Inf).
+	PAp float64
+}
+
+func (e *BreakdownError) Error() string {
+	return fmt.Sprintf("linalg: CG breakdown at iteration %d (p·A·p = %g; matrix not SPD?)", e.Iter, e.PAp)
+}
+
+// Unwrap makes errors.Is(err, ErrNoConvergence) hold.
+func (e *BreakdownError) Unwrap() error { return ErrNoConvergence }
+
 // CGOptions tunes SolveCG.
 type CGOptions struct {
 	// Tol is the relative residual target ‖b−Ax‖/‖b‖; default 1e-10.
 	Tol float64
 	// MaxIter bounds iterations; default 10·N.
 	MaxIter int
+	// Precond supplies the preconditioner; nil selects the classic Jacobi
+	// (diagonal) fallback built from the matrix. Structure-aware callers
+	// (the crossbar solver) pass a BlockJacobi over their wire chains.
+	Precond Preconditioner
 	// Ops, when non-nil, accumulates the solve's operation counts. The
 	// accounting is exact and purely observational: enabling it never
-	// changes a computed float. Per solve the setup costs one SpMV, two
-	// dots (‖b‖ and r·z), the diagonal scan and inversion, and three
-	// streaming vector passes; each of the k iterations costs one SpMV,
-	// one dot, one norm, two AXPYs and two scalar divisions, and every
-	// iteration except a converged last one adds the preconditioner
+	// changes a computed float. On the default Jacobi path the setup costs
+	// one SpMV, two dots (‖b‖ and r·z), the diagonal scan and inversion,
+	// and three streaming vector passes; each of the k iterations costs one
+	// SpMV, one dot, one norm, two AXPYs and two scalar divisions, and
+	// every iteration except a converged last one adds the preconditioner
 	// apply, one more dot, and the direction update. In totals:
-	// SpMVs = k+1, Dots = 3k+1, Axpys = 2k.
+	// SpMVs = k+1, Dots = 3k+1, Axpys = 2k. A non-nil x0 adds one norm
+	// (the warm-start early-exit check); a custom Precond charges its own
+	// apply cost and bumps PrecondApplies.
 	Ops *OpCount
 }
 
 // SolveCG solves A·x = b for a symmetric positive-definite CSR matrix with
-// Jacobi-preconditioned conjugate gradients. Resistor-network conductance
-// matrices are SPD and strongly diagonally dominant, so CG converges in far
-// fewer iterations than N. x0 may be nil.
+// preconditioned conjugate gradients (CGOptions.Precond; Jacobi fallback).
+// Resistor-network conductance matrices are SPD and strongly diagonally
+// dominant, so CG converges in far fewer iterations than N. x0 may be nil;
+// a non-nil x0 that already meets the tolerance is returned bit-unchanged
+// after zero iterations — the contract warm-started re-solves rely on.
 func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	n := a.N
 	if len(b) != n {
@@ -176,16 +224,14 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 		copy(x, x0)
 		ops.CountBytes(16 * int64(n))
 	}
-	diag := a.Diagonal()
-	ops.CountBytes(16 * int64(nnz)) // diagonal scan over Vals + ColIdx
-	inv := make([]float64, n)
-	for i, d := range diag {
-		if d == 0 {
-			return nil, 0, fmt.Errorf("linalg: zero diagonal at %d, Jacobi preconditioner undefined", i)
+	pre := opt.Precond
+	if pre == nil {
+		jp, err := newJacobiPrecond(a, ops)
+		if err != nil {
+			return nil, 0, err
 		}
-		inv[i] = 1 / d
+		pre = jp
 	}
-	ops.CountVecOp(n, 1) // diagonal inversion
 	r := make([]float64, n)
 	a.MulVec(x, r)
 	ops.CountSpMV(nnz, n)
@@ -196,14 +242,28 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	normB := Norm2(b)
 	ops.CountNorm(n)
 	if normB == 0 {
+		// b = 0 → the unique SPD solution is x = 0. Never echo a non-zero
+		// x0 back: a warm-started solve against a zero RHS must not return
+		// the stale warm start.
+		for i := range x {
+			x[i] = 0
+		}
 		observeCG(0)
-		return x, 0, nil // b = 0 → x = 0 (or x0-projected; zero is the SPD solution)
+		return x, 0, nil
+	}
+	if x0 != nil {
+		// Warm-start early exit: an x0 already inside the tolerance is the
+		// answer, returned bit-unchanged.
+		res0 := Norm2(r) / normB
+		ops.CountNorm(n)
+		ops.CountFlops(1)
+		if res0 < opt.Tol {
+			observeCG(0)
+			return x, 0, nil
+		}
 	}
 	z := make([]float64, n)
-	for i := range z {
-		z[i] = inv[i] * r[i]
-	}
-	ops.CountVecOp(n, 1) // preconditioner apply
+	pre.Apply(r, z, ops)
 	p := make([]float64, n)
 	copy(p, z)
 	ops.CountBytes(16 * int64(n))
@@ -213,9 +273,18 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	for it := 1; it <= opt.MaxIter; it++ {
 		a.MulVec(p, ap)
 		ops.CountSpMV(nnz, n)
-		alpha := rz / Dot(p, ap)
+		pap := Dot(p, ap)
 		ops.CountDot(n)
+		alpha := rz / pap
 		ops.CountFlops(1) // α division
+		if pap <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			// Breakdown guard: non-positive curvature means the matrix is
+			// not SPD (a bad stamp); without this guard α goes NaN and no
+			// exit condition ever fires until MaxIter.
+			observeCG(it)
+			telCGBreakdowns.Inc()
+			return x, it, &BreakdownError{Iter: it, PAp: pap}
+		}
 		AXPY(alpha, p, x)
 		AXPY(-alpha, ap, r)
 		ops.CountAxpy(n)
@@ -223,14 +292,16 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 		res := Norm2(r) / normB
 		ops.CountNorm(n)
 		ops.CountFlops(1) // relative-residual division
+		if math.IsNaN(res) || math.IsInf(res, 0) {
+			observeCG(it)
+			telCGBreakdowns.Inc()
+			return x, it, &BreakdownError{Iter: it, PAp: pap}
+		}
 		if res < opt.Tol {
 			observeCG(it)
 			return x, it, nil
 		}
-		for i := range z {
-			z[i] = inv[i] * r[i]
-		}
-		ops.CountVecOp(n, 1) // preconditioner apply
+		pre.Apply(r, z, ops)
 		rzNew := Dot(r, z)
 		ops.CountDot(n)
 		beta := rzNew / rz

@@ -74,6 +74,11 @@ func replayDC(ctx context.Context, c *circuit.Crossbar, s *circuit.Snapshot, w i
 		// conditioning on the re-run.
 		opt.Diagnostics = true
 	}
+	if s.WarmV != nil {
+		// The recorded solve started from a warm operating point; reseed it
+		// so the re-run follows the same Newton trajectory bit for bit.
+		opt.State = circuit.WarmState(s.WarmV)
+	}
 	res, err := c.SolveContext(ctx, s.Vin, opt)
 	if verbose {
 		printDiagnostics(w, res, err)
@@ -210,6 +215,15 @@ func printDiagnostics(w io.Writer, res *circuit.Result, err error) {
 		return
 	}
 	fmt.Fprintf(w, "  path %s", d.Path)
+	if d.Precond != "" {
+		fmt.Fprintf(w, "  precond %s", d.Precond)
+		if d.PrecondRefreshes > 0 {
+			fmt.Fprintf(w, " (%d refreshes)", d.PrecondRefreshes)
+		}
+	}
+	if d.WarmStart {
+		fmt.Fprint(w, "  warm-start")
+	}
 	if d.SetupCGIters > 0 {
 		fmt.Fprintf(w, "  setup CG iters %d", d.SetupCGIters)
 	}
@@ -254,6 +268,7 @@ func printCost(w io.Writer, c *circuit.CostModel) {
 	phase("assembly", c.Assembly)
 	phase("newton-update", c.NewtonUpdate)
 	phase("cg-loop", c.CGLoop)
+	phase("precond", c.Precond)
 	phase("diagnostics", c.Diagnostics)
 	fmt.Fprintf(w, "  cost %-14s %12d flops           %10d bytes\n", "total", total.Flops, total.Bytes)
 }

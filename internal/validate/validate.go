@@ -110,11 +110,15 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 		if inputs < 1 {
 			inputs = 1
 		}
+		// One solver state per weight sample: this loop is strictly
+		// sequential, so the 2·inputs solves of each crossbar share the
+		// assembled pattern, the block preconditioner, and warm starts.
+		st := circuit.NewSolverState()
 		for s := 0; s < inputs; s++ {
 			for i := range vin {
 				vin[i] = p.VDrive * rng.Float64()
 			}
-			res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{})
+			res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{State: st})
 			if err != nil {
 				return nil, fmt.Errorf("validate: compute-power solve: %w", err)
 			}
@@ -125,7 +129,7 @@ func TableIIContext(ctx context.Context, opt TableIIOptions) ([]Row, error) {
 				vin[i] = 0
 			}
 			vin[rng.Intn(opt.Size)] = p.AvgDriveRMS()
-			res, err = c.SolveContext(ctx, vin, circuit.SolveOptions{})
+			res, err = c.SolveContext(ctx, vin, circuit.SolveOptions{State: st})
 			if err != nil {
 				return nil, fmt.Errorf("validate: read-power solve: %w", err)
 			}
