@@ -73,6 +73,12 @@ func run(ctx context.Context, w io.Writer, path, spOut, journal string, force, v
 	}
 	n, err := replay.File(ctx, path, w, verbose)
 	if err != nil {
+		// A journal written by a newer mnsim carries its own remedy in the
+		// error text; strip any wrapping so it reads as one clean line.
+		var sv *telemetry.SchemaVersionError
+		if errors.As(err, &sv) {
+			return sv
+		}
 		return err
 	}
 	fmt.Fprintf(w, "replay: %d snapshot(s) reproduced bit-identically\n", n)

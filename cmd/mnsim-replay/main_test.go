@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,5 +89,27 @@ func TestReplayUsageErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), &sb, filepath.Join(t.TempDir(), "nope.json"), "", "", false, false); err == nil {
 		t.Error("missing snapshot accepted")
+	}
+}
+
+// A journal from a newer mnsim must be refused with the schema-version
+// message, not a cryptic parse failure.
+func TestReplayRefusesNewerSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.jsonl")
+	line := `{"seq":0,"t_ns":1,"type":"journal","id":"","data":{"schema_version":99,"tool":"mnsim-future"}}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run(context.Background(), &sb, path, "", "", false, false)
+	if err == nil {
+		t.Fatal("schema-99 journal accepted")
+	}
+	var sv *telemetry.SchemaVersionError
+	if !errors.As(err, &sv) || sv.Version != 99 {
+		t.Fatalf("err = %v, want SchemaVersionError{Version: 99}", err)
+	}
+	if !strings.Contains(err.Error(), "upgrade the reading tool") {
+		t.Fatalf("error lacks the remedy: %v", err)
 	}
 }

@@ -93,6 +93,16 @@ func runShow(w io.Writer, path string) error {
 		status = fmt.Sprintf("%d (%s)", m.ExitStatus, m.Error)
 	}
 	tab.AddRow("Exit", status)
+	// Artifact paths the run recorded (journal, metrics, trace_events, …),
+	// so the manifest is the one index for everything the run wrote.
+	arts := make([]string, 0, len(m.Artifacts))
+	for kind := range m.Artifacts {
+		arts = append(arts, kind)
+	}
+	sort.Strings(arts)
+	for _, kind := range arts {
+		tab.AddRow("Artifact: "+kind, m.Artifacts[kind])
+	}
 	if err := tab.Render(w); err != nil {
 		return err
 	}

@@ -142,13 +142,18 @@ func TestShowRendersManifest(t *testing.T) {
 	seed := int64(42)
 	m.Seed = &seed
 	m.Workers = 8
+	m.Artifacts = map[string]string{
+		"journal":      "out/run.jsonl",
+		"trace_events": "out/trace.json",
+	}
 	path := writeManifest(t, dir, "run.json", m)
 	var sb strings.Builder
 	if err := runShow(&sb, path); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"mnsim-dse", "largebank", "42", "dse.explore", "candidate"} {
+	for _, want := range []string{"mnsim-dse", "largebank", "42", "dse.explore", "candidate",
+		"Artifact: journal", "out/run.jsonl", "Artifact: trace_events", "out/trace.json"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("show output missing %q:\n%s", want, out)
 		}

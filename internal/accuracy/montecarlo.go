@@ -68,16 +68,17 @@ const mcShardSize = 64
 // mcSeq numbers Monte-Carlo runs process-wide for journal correlation ids.
 var mcSeq atomic.Int64
 
-// emitTrialEvent journals one mc_trial outcome. NaN cannot be JSON-encoded,
-// so a degenerate trial is flagged instead of carrying its sample value.
-func emitTrialEvent(runID string, t int, absErr float64, ok bool) {
+// emitTrialEvent journals one mc_trial outcome, stamped with the enclosing
+// run span's trace/span IDs from ctx. NaN cannot be JSON-encoded, so a
+// degenerate trial is flagged instead of carrying its sample value.
+func emitTrialEvent(ctx context.Context, runID string, t int, absErr float64, ok bool) {
 	data := map[string]any{"trial": t}
 	if ok {
 		data["abs_err"] = absErr
 	} else {
 		data["degenerate"] = true
 	}
-	telemetry.EmitEvent(telemetry.EvMCTrial, runID, data)
+	telemetry.EmitEventCtx(ctx, telemetry.EvMCTrial, runID, data)
 }
 
 // trialSeed derives trial t's generator seed from the base seed with the
@@ -171,7 +172,10 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 	if opt.Sigma < 0 || opt.Sigma > 0.5 {
 		return MCResult{}, fmt.Errorf("accuracy: sigma %g outside [0,0.5]", opt.Sigma)
 	}
-	_, sp := telemetry.StartSpan(ctx, "accuracy.montecarlo")
+	// The run span rides ctx into the pooled trial workers (pool.Run derives
+	// task contexts from its caller's, preserving context values), so
+	// mc_trial events and any nested spans chain under it.
+	ctx, sp := telemetry.StartSpan(ctx, "accuracy.montecarlo")
 	defer func() {
 		if d := sp.End(); d > 0 {
 			telMCSamplesSec.Set(float64(opt.Trials) / d.Seconds())
@@ -203,7 +207,7 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 				return MCResult{}, err
 			}
 			if runID != "" {
-				emitTrialEvent(runID, t, v, ok)
+				emitTrialEvent(ctx, runID, t, v, ok)
 			}
 			if !ok {
 				v = math.NaN()
@@ -235,7 +239,7 @@ func MonteCarloContext(ctx context.Context, p crossbar.Params, opt MCOptions) (M
 					return err
 				}
 				if runID != "" {
-					emitTrialEvent(runID, t, v, ok)
+					emitTrialEvent(tctx, runID, t, v, ok)
 				}
 				if !ok {
 					v = math.NaN()

@@ -92,7 +92,9 @@ func (a *Accelerator) Evaluate() (Report, error) {
 // attributes the time to the candidate that spent it), and a cancelled
 // context aborts the evaluation between banks with a wrapped ctx.Err().
 func (a *Accelerator) EvaluateContext(ctx context.Context) (Report, error) {
-	_, sp := telemetry.StartSpan(ctx, "arch.evaluate")
+	// Keep the derived context: anything evaluated beneath (and any events
+	// emitted with it) chains under this span in the causal trace.
+	ctx, sp := telemetry.StartSpan(ctx, "arch.evaluate")
 	defer func() {
 		telEvaluations.Inc()
 		telEvalUS.Observe(float64(sp.End().Microseconds()))

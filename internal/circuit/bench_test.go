@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mnsim/internal/device"
+	"mnsim/internal/telemetry"
 )
 
 // BenchmarkSolve times one non-linear crossbar solve and reports the
@@ -123,6 +124,55 @@ func BenchmarkSolveAccounting(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := c.Solve(vin, bc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cg += int64(res.CGIters)
+			}
+			b.ReportMetric(float64(cg)/float64(b.N), "cg-iters/op")
+		})
+	}
+}
+
+// BenchmarkSolveTraced isolates the causal-tracing overhead, mirroring the
+// BenchmarkSolveAccounting on/off pair: "on" retains span records in the
+// trace ring (plus the gated per-phase sub-spans), "off" is the plain
+// solve. The acceptance budget is 5% on ns/op; the off side must stay in
+// the noise because the only added cost there is one atomic load per
+// solve. Results are bit-identity-asserted separately in
+// TestTracingNumericallyNeutral.
+func BenchmarkSolveTraced(b *testing.B) {
+	const size = 64
+	for _, bc := range []struct {
+		name   string
+		traced bool
+	}{
+		{"on", true},
+		{"off", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			if bc.traced {
+				telemetry.SetTraceSeed(1)
+				telemetry.EnableTraceEvents(1 << 12)
+				b.Cleanup(func() { telemetry.DefaultTracer().ResetTraceEvents() })
+			}
+			dev := device.RRAM()
+			rng := rand.New(rand.NewSource(1))
+			c := &Crossbar{
+				M: size, N: size,
+				R:      randomR(size, size, dev, rng),
+				WireR:  2.5,
+				RSense: 1e3,
+				Dev:    dev,
+			}
+			vin := make([]float64, size)
+			for i := range vin {
+				vin[i] = 2 * dev.ReadVoltage * rng.Float64()
+			}
+			var cg int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Solve(vin, SolveOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -464,9 +464,14 @@ func (c *Crossbar) Solve(vin []float64, opt SolveOptions) (*Result, error) {
 // telemetry span nests under any span already open in ctx, so a DSE sweep
 // or validation run attributes solver time to the candidate that spent it.
 func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOptions) (res *Result, err error) {
-	_, sp := telemetry.StartSpan(ctx, "circuit.solve")
+	ctx, sp := telemetry.StartSpan(ctx, "circuit.solve")
+	// jid correlates this solve's journal events; snapPath carries the
+	// divergence snapshot location into solve_end. Both are set below but
+	// declared here so the deferred solve_end — emitted after sp.End(), so
+	// it can carry the span's duration and trace/span IDs — sees them.
+	jid, snapPath := "", ""
 	defer func() {
-		sp.End()
+		dur := sp.End()
 		if res != nil {
 			telSolves.Inc()
 			telNewtonIters.Observe(float64(res.NewtonIters))
@@ -482,6 +487,43 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			telPhasePrecond.Observe(float64(d.Cost.Precond.Flops))
 			telPhaseDiag.Observe(float64(d.Cost.Diagnostics.Flops))
 		}
+		if jid == "" {
+			return
+		}
+		// The solve_end event is deferred so every exit path — success,
+		// divergence, CG failure, cancellation — is recorded.
+		data := map[string]any{"ok": err == nil, "dur_us": float64(dur.Nanoseconds()) / 1e3}
+		if res != nil {
+			data["newton_iters"] = res.NewtonIters
+			data["cg_iters"] = res.CGIters
+		}
+		if d := diagOf(res, err); d != nil {
+			if d.Precond != "" {
+				data["precond"] = d.Precond
+				data["precond_refreshes"] = d.PrecondRefreshes
+			}
+			if d.WarmStart {
+				data["warm_start"] = true
+			}
+			if d.CacheHit {
+				data["cache_hit"] = true
+			}
+			if d.Cost != nil {
+				data["cost"] = d.Cost
+				data["flops"] = d.Cost.Total().Flops
+			}
+			if d.Convergence != nil {
+				data["decay_rate"] = d.Convergence.DecayRate
+				data["stagnated"] = d.Convergence.Stagnated
+			}
+		}
+		if err != nil {
+			data["err"] = err.Error()
+		}
+		if snapPath != "" {
+			data["snapshot"] = snapPath
+		}
+		telemetry.EmitEventCtx(ctx, telemetry.EvSolveEnd, jid, data)
 	}()
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -517,51 +559,16 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	if !opt.NoCostAccounting {
 		cost = &CostModel{}
 	}
-	// Flight recorder: a correlation id ties this solve's journal events
-	// together; the solve_end event is deferred so every exit path —
-	// success, divergence, CG failure, cancellation — is recorded.
-	jid, snapPath := "", ""
+	// Flight recorder: the correlation id ties this solve's journal events
+	// together (the matching solve_end is emitted by the deferred block
+	// above, after the span closes).
 	if telemetry.JournalOn() {
 		jid = nextSolveID("solve")
-		telemetry.EmitEvent(telemetry.EvSolveStart, jid, map[string]any{
+		telemetry.EmitEventCtx(ctx, telemetry.EvSolveStart, jid, map[string]any{
 			"m": c.M, "n": c.N, "wire_r": c.WireR, "rsense": c.RSense,
 			"linear": c.Linear, "tol": opt.Tol, "max_newton": opt.MaxNewton,
 			"cg_tol": opt.CGTol, "precond": opt.Precond,
 		})
-		defer func() {
-			data := map[string]any{"ok": err == nil}
-			if res != nil {
-				data["newton_iters"] = res.NewtonIters
-				data["cg_iters"] = res.CGIters
-			}
-			if d := diagOf(res, err); d != nil {
-				if d.Precond != "" {
-					data["precond"] = d.Precond
-					data["precond_refreshes"] = d.PrecondRefreshes
-				}
-				if d.WarmStart {
-					data["warm_start"] = true
-				}
-				if d.CacheHit {
-					data["cache_hit"] = true
-				}
-				if d.Cost != nil {
-					data["cost"] = d.Cost
-					data["flops"] = d.Cost.Total().Flops
-				}
-				if d.Convergence != nil {
-					data["decay_rate"] = d.Convergence.DecayRate
-					data["stagnated"] = d.Convergence.Stagnated
-				}
-			}
-			if err != nil {
-				data["err"] = err.Error()
-			}
-			if snapPath != "" {
-				data["snapshot"] = snapPath
-			}
-			telemetry.EmitEvent(telemetry.EvSolveEnd, jid, data)
-		}()
 	}
 	if c.WireR == 0 {
 		telZeroWireSolve.Inc()
@@ -580,6 +587,18 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		res = hit
 		return res, nil
 	}
+	// Per-phase sub-spans (assemble / setup / newton) are gated on trace
+	// events being on: they exist purely for the causal timeline, and the
+	// gate keeps a plain run's span count (and cost) unchanged. A nil span
+	// is safe to End.
+	traced := telemetry.TraceEventsOn()
+	var phaseSpan *telemetry.Span
+	startPhase := func(name string) {
+		if traced {
+			_, phaseSpan = telemetry.StartSpan(ctx, name)
+		}
+	}
+	startPhase("assemble")
 	var a *assembly
 	if st != nil && st.asm != nil && st.asmM == c.M && st.asmN == c.N {
 		// Reuse the cached sparsity pattern: re-stamp values and refresh
@@ -601,6 +620,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			st.pre = nil
 		}
 	}
+	phaseSpan.End()
 	diag := &Diagnostics{Path: "newton-cg", Precond: opt.Precond, Cost: cost}
 	if c.Linear {
 		diag.Path = "linear-cg"
@@ -642,6 +662,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		diag.WarmStart = true
 		telWarmSolves.Inc()
 	} else {
+		startPhase("setup")
 		var x0 []float64
 		if c.Linear && st.warmFor(c) {
 			x0 = st.v
@@ -658,8 +679,11 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		res.NewtonIters = 1
 		diag.SetupCGIters = it
 		baseline = it
+		phaseSpan.End()
 	}
 	if !c.Linear {
+		startPhase("newton")
+		defer phaseSpan.End()
 		needRefresh := false
 		for iter := 0; iter < opt.MaxNewton; iter++ {
 			if err := ctx.Err(); err != nil {
@@ -709,7 +733,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			diag.Residuals = append(diag.Residuals, delta)
 			diag.CGIters = append(diag.CGIters, it)
 			if jid != "" {
-				telemetry.EmitEvent(telemetry.EvNewtonIter, jid, map[string]any{
+				telemetry.EmitEventCtx(ctx, telemetry.EvNewtonIter, jid, map[string]any{
 					"iter": iter, "max_dv": jsonFinite(delta), "cg_iters": it,
 				})
 			}
@@ -736,6 +760,9 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 			}
 		}
 	}
+	// Idempotent: closes the newton phase span on the converged path (the
+	// deferred End covers the error returns above).
+	phaseSpan.End()
 	if opt.Diagnostics {
 		diag.CondEstimate = jsonFinite(linalg.EstimateCondOps(a.mat, cost.diagnostics()))
 	}

@@ -279,7 +279,12 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 		d.CrossbarSize = gp.size
 		d.Parallelism = gp.p
 		d.Wire = gp.wire
-		_, cs := telemetry.StartSpan(ctx, "candidate")
+		// The candidate span derives from the pooled task context (which
+		// carries the sweep span across the worker boundary) and is keyed by
+		// the grid point, so its span ID is identical for every worker count
+		// and schedule; the derived tctx flows into the evaluation so solve
+		// spans and events chain under this candidate.
+		tctx, cs := telemetry.StartSpanKeyed(tctx, "candidate", candID(gp))
 		if opt.EvalSpin > 0 {
 			seed := uint64(gp.size)<<32 | uint64(gp.p)<<16 | uint64(gp.node)
 			spinSink.Add(spin(seed, opt.EvalSpin))
@@ -301,7 +306,7 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 			if errors.Is(err, errUnbuildable) {
 				telUnbuildable.Inc()
 				if telemetry.JournalOn() {
-					telemetry.EmitEvent(telemetry.EvCandidateEval, candID(gp),
+					telemetry.EmitEventCtx(tctx, telemetry.EvCandidateEval, candID(gp),
 						map[string]any{"outcome": "unbuildable"})
 				}
 				return nil // infeasible grid point (e.g. weight overflow)
@@ -314,7 +319,7 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 			telemetry.Log().Warn("dse candidate evaluation failed",
 				"size", gp.size, "parallelism", gp.p, "wire_node", gp.node, "err", err)
 			if telemetry.JournalOn() {
-				telemetry.EmitEvent(telemetry.EvCandidateEval, candID(gp), map[string]any{
+				telemetry.EmitEventCtx(tctx, telemetry.EvCandidateEval, candID(gp), map[string]any{
 					"outcome": "eval_failed", "err": err.Error(),
 					"eval_us": evalTime.Microseconds(),
 				})
@@ -341,7 +346,7 @@ func Explore(ctx context.Context, base arch.Design, layers []arch.LayerDims, spa
 			if !c.Feasible {
 				outcome = "infeasible"
 			}
-			telemetry.EmitEvent(telemetry.EvCandidateEval, candID(gp), map[string]any{
+			telemetry.EmitEventCtx(tctx, telemetry.EvCandidateEval, candID(gp), map[string]any{
 				"outcome": outcome, "eval_us": evalTime.Microseconds(),
 				"area_mm2": r.AreaMM2, "energy_j": r.EnergyPerSample,
 				"latency_s": r.PipelineCycle, "error_worst": r.ErrorWorst,

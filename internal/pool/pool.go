@@ -51,6 +51,13 @@ func AddFlag(fs *flag.FlagSet) *int {
 // first error observed — a task error takes precedence, otherwise the
 // context's. With workers == 1 tasks run strictly in index order on the
 // calling goroutine's single worker, giving exact sequential semantics.
+//
+// Task contexts derive from the caller's ctx, so context values — in
+// particular the submitting goroutine's active telemetry span — cross the
+// worker boundary: a span opened inside a task nests under the caller's
+// span (path "parent/child") exactly as it would sequentially. Callers
+// must pass the task's ctx (not a captured outer one) into nested work to
+// keep that chain intact.
 func Run(ctx context.Context, n, workers int, task func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"mnsim/internal/telemetry"
 )
 
 func TestRunCoversAllIndices(t *testing.T) {
@@ -97,6 +99,52 @@ func TestRunEmpty(t *testing.T) {
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: the submitting goroutine's active span must cross the worker
+// boundary — a span opened inside a pooled task aggregates under
+// "parent/child", not as a detached root. (Task contexts derive from the
+// caller's ctx, which preserves context values.)
+func TestRunPropagatesSpanContext(t *testing.T) {
+	tr := telemetry.NewTracer()
+	ctx, parent := tr.StartSpan(context.Background(), "parent")
+	err := Run(ctx, 8, 4, func(tctx context.Context, i int) error {
+		_, child := tr.StartSpan(tctx, "child")
+		child.End()
+		return nil
+	})
+	parent.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, ok := tr.Stat("parent/child")
+	if !ok {
+		var names []string
+		for _, s := range tr.Stats() {
+			names = append(names, s.Name)
+		}
+		t.Fatalf("span context dropped at the pool boundary: have %v, want parent/child", names)
+	}
+	if stat.Count != 8 {
+		t.Fatalf("parent/child count = %d, want 8", stat.Count)
+	}
+	// The causal chain agrees with the path: every task span's parent ID is
+	// the submitting span.
+	tctx2, p2 := tr.StartSpan(context.Background(), "parent2")
+	var badParent atomic.Int32
+	err = Run(tctx2, 4, 2, func(tctx context.Context, i int) error {
+		if telemetry.SpanFromContext(tctx).SpanID() != p2.SpanID() {
+			badParent.Add(1)
+		}
+		return nil
+	})
+	p2.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badParent.Load() != 0 {
+		t.Fatalf("%d tasks saw a context without the submitting span", badParent.Load())
 	}
 }
 

@@ -17,6 +17,9 @@ import (
 //	-metrics-out file   write the metrics registry on exit
 //	                    (Prometheus text; JSON when the path ends in .json)
 //	-trace-out file     write the aggregated span trace as JSON on exit
+//	-trace-events file  write the causal span timeline as Chrome
+//	                    trace-event JSON on exit (open in Perfetto or
+//	                    chrome://tracing)
 //	-run-out file       write the run manifest (run.json) on exit
 //	-journal file       record the flight-recorder event journal (JSONL:
 //	                    solve_start/newton_iter/solve_end/transient_settle/
@@ -39,15 +42,16 @@ import (
 // failed sweep are exactly what the user wants to look at; record the
 // run's outcome with Run.SetError first so the manifest carries it.
 type Flags struct {
-	MetricsOut string
-	TraceOut   string
-	RunOut     string
-	Journal    string
-	ServeAddr  string
-	ServeHold  time.Duration
-	PprofAddr  string
-	Progress   bool
-	LogLevel   string
+	MetricsOut  string
+	TraceOut    string
+	TraceEvents string
+	RunOut      string
+	Journal     string
+	ServeAddr   string
+	ServeHold   time.Duration
+	PprofAddr   string
+	Progress    bool
+	LogLevel    string
 
 	// Run is the manifest-identity record the CLI fills in after parsing
 	// (SetTool, SetSeed, SetWorkers, SetConfigHash, SetError).
@@ -73,6 +77,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		"write metrics to this file on exit (Prometheus text format, or JSON if the path ends in .json)")
 	fs.StringVar(&f.TraceOut, "trace-out", "",
 		"write the aggregated span trace as JSON to this file on exit")
+	fs.StringVar(&f.TraceEvents, "trace-events", "",
+		"write the causal span timeline as Chrome trace-event JSON to this file on exit (viewable in Perfetto / chrome://tracing)")
 	fs.StringVar(&f.RunOut, "run-out", "",
 		"write the run manifest (run.json: tool, args, seed, per-phase wall time, final metrics, exit status) to this file on exit")
 	fs.StringVar(&f.Journal, "journal", "",
@@ -123,6 +129,18 @@ func (f *Flags) StartContext(ctx context.Context) error {
 		}
 	} else if f.ServeAddr != "" {
 		defaultJournal.EnableRing()
+	}
+	// Causal tracing: one switch drives the span-record ring, journal
+	// "span" events, and /trace.json. Any sink that can consume span
+	// records turns it on; a plain run keeps it off so the neutrality
+	// benchmarks measure the true disabled cost.
+	if f.TraceEvents != "" || f.Journal != "" || f.ServeAddr != "" {
+		if f.Run != nil {
+			if info := f.Run.snapshot(); info.Seed != nil {
+				SetTraceSeed(*info.Seed)
+			}
+		}
+		EnableTraceEvents(0)
 	}
 	// Port 0 means "pick any free port", so two :0 binds never collide.
 	if f.ServeAddr != "" && f.ServeAddr == f.PprofAddr && !strings.HasSuffix(f.ServeAddr, ":0") {
@@ -266,15 +284,34 @@ func (f *Flags) Finish() error {
 		f.progStop, f.progDone = nil, nil
 	}
 	var first error
+	record := func(kind, path string) {
+		if f.Run != nil {
+			f.Run.SetArtifact(kind, path)
+		}
+	}
 	if f.MetricsOut != "" {
 		if err := WriteMetricsFile(f.MetricsOut); err != nil && first == nil {
 			first = err
+		} else if err == nil {
+			record("metrics", f.MetricsOut)
 		}
 	}
 	if f.TraceOut != "" {
 		if err := WriteTraceFile(f.TraceOut); err != nil && first == nil {
 			first = err
+		} else if err == nil {
+			record("trace", f.TraceOut)
 		}
+	}
+	if f.TraceEvents != "" {
+		if err := WriteTraceEventsFile(f.TraceEvents); err != nil && first == nil {
+			first = err
+		} else if err == nil {
+			record("trace_events", f.TraceEvents)
+		}
+	}
+	if f.Journal != "" {
+		record("journal", f.Journal)
 	}
 	if f.RunOut != "" {
 		run := f.Run

@@ -30,7 +30,27 @@ import (
 // incompatible change so replay tooling can refuse journals it does not
 // understand. The version is recorded in the journal's first event
 // (type "journal", data.schema_version).
-const JournalSchemaVersion = 1
+//
+// Version history:
+//
+//	1 — PR 4: initial flight-recorder layout.
+//	2 — PR 8: "span" events (causal trace records) and trace/span/parent
+//	    ID stamps on solve/candidate/trial events. Version-1 journals
+//	    still read cleanly (the additions are new events and new data
+//	    keys); readers refuse versions *newer* than they understand.
+const JournalSchemaVersion = 2
+
+// SchemaVersionError reports a journal written by a newer tool than the
+// reader: its header schema_version exceeds what this build understands.
+type SchemaVersionError struct {
+	Path    string
+	Version int
+}
+
+func (e *SchemaVersionError) Error() string {
+	return fmt.Sprintf("telemetry: journal %s has schema version %d, newer than supported version %d — upgrade the reading tool",
+		e.Path, e.Version, JournalSchemaVersion)
+}
 
 // EventType enumerates the typed journal events.
 type EventType string
@@ -56,6 +76,9 @@ const (
 	// EvPhase records progress-phase boundaries (start/finish) and
 	// experiment summaries.
 	EvPhase EventType = "phase"
+	// EvSpan records one completed trace span (schema v2): name, path,
+	// trace/span/parent IDs in hex wire form, start_us and dur_us.
+	EvSpan EventType = "span"
 )
 
 // Event is one journal record. Data keys are event-type specific; the
@@ -335,6 +358,11 @@ func ReadJournalFile(path string) ([]Event, error) {
 			// A malformed line in the middle of the file is corruption,
 			// not crash truncation.
 			return nil, fmt.Errorf("telemetry: journal %s: malformed line before seq %d", path, ev.Seq)
+		}
+		if len(events) == 0 && ev.Type == EvJournal {
+			if v, ok := ev.Data["schema_version"].(float64); ok && int(v) > JournalSchemaVersion {
+				return nil, &SchemaVersionError{Path: path, Version: int(v)}
+			}
 		}
 		events = append(events, ev)
 	}

@@ -55,7 +55,7 @@ func TestJournalSchemaGolden(t *testing.T) {
 func TestJournalEventTypes(t *testing.T) {
 	j, path := newTestJournal(t, 16)
 	types := []EventType{EvSolveStart, EvNewtonIter, EvSolveEnd,
-		EvTransientSettle, EvCandidateEval, EvMCTrial, EvPhase}
+		EvTransientSettle, EvCandidateEval, EvMCTrial, EvPhase, EvSpan}
 	for i, typ := range types {
 		j.Emit(typ, fmt.Sprintf("id-%d", i), map[string]any{"k": i})
 	}

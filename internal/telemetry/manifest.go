@@ -29,6 +29,7 @@ type RunInfo struct {
 	seed       *int64
 	workers    int
 	runErr     error
+	artifacts  map[string]string
 }
 
 // NewRunInfo returns a RunInfo stamped with the current time and the
@@ -74,6 +75,18 @@ func (r *RunInfo) SetSeed(seed int64) {
 func (r *RunInfo) SetWorkers(n int) {
 	r.mu.Lock()
 	r.workers = n
+	r.mu.Unlock()
+}
+
+// SetArtifact records a file the run produced (kind → path: "journal",
+// "trace_events", "metrics", "trace", ...), so the manifest makes a run
+// directory self-describing and mnsim-runs show can list them.
+func (r *RunInfo) SetArtifact(kind, path string) {
+	r.mu.Lock()
+	if r.artifacts == nil {
+		r.artifacts = map[string]string{}
+	}
+	r.artifacts[kind] = path
 	r.mu.Unlock()
 }
 
@@ -148,6 +161,11 @@ type Manifest struct {
 	ExitStatus    int       `json:"exit_status"`
 	Error         string    `json:"error,omitempty"`
 
+	// Artifacts maps the run's output files by kind ("journal",
+	// "trace_events", "metrics", "trace"), as requested on the command
+	// line, so a run directory is self-describing.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+
 	Phases  []SpanStat      `json:"phases"`
 	Metrics MetricsSnapshot `json:"metrics"`
 }
@@ -176,6 +194,12 @@ func (r *RunInfo) Manifest() Manifest {
 	if r.runErr != nil {
 		m.ExitStatus = 1
 		m.Error = r.runErr.Error()
+	}
+	if len(r.artifacts) > 0 {
+		m.Artifacts = make(map[string]string, len(r.artifacts))
+		for k, v := range r.artifacts {
+			m.Artifacts[k] = v
+		}
 	}
 	r.mu.Unlock()
 	return m

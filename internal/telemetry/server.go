@@ -27,6 +27,8 @@ func jsonHandler(write func(w http.ResponseWriter) error) http.HandlerFunc {
 //	/metrics        Prometheus text exposition (version 0.0.4)
 //	/metrics.json   the same registry as JSON
 //	/trace          span wall-time aggregates as JSON
+//	/trace.json     the causal span timeline as Chrome trace-event JSON
+//	                (save and open in Perfetto / chrome://tracing)
 //	/progress       live sweep phases: total/done, rate, ETA
 //	/events         the flight-recorder ring buffer (most recent journal
 //	                events) with total/dropped counts
@@ -48,6 +50,9 @@ func NewServeMux(run *RunInfo) *http.ServeMux {
 	}))
 	mux.HandleFunc("/trace", jsonHandler(func(w http.ResponseWriter) error {
 		return defaultTracer.WriteJSON(w)
+	}))
+	mux.HandleFunc("/trace.json", jsonHandler(func(w http.ResponseWriter) error {
+		return defaultTracer.WriteTraceEvents(w)
 	}))
 	mux.HandleFunc("/progress", jsonHandler(func(w http.ResponseWriter) error {
 		return defaultProgress.WriteJSON(w)

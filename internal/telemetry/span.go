@@ -18,6 +18,18 @@ import (
 type Tracer struct {
 	mu  sync.Mutex
 	agg map[string]*spanAgg
+
+	// Causal-trace state (trace.go): the run's trace ID, a counter
+	// discriminating sequentially started root spans, and the bounded ring
+	// of completed span records behind EnableTraceEvents.
+	traceID   atomic.Uint64
+	rootSeq   atomic.Int64
+	eventsOn  atomic.Bool
+	evMu      sync.Mutex
+	events    []SpanRecord
+	evHead    int
+	evCap     int
+	evDropped int64
 }
 
 type spanAgg struct {
@@ -37,26 +49,62 @@ type spanCtxKey struct{}
 // spans when tracing is off).
 type Span struct {
 	tracer *Tracer
+	name   string
 	path   string
 	start  time.Time
 	done   atomic.Bool
+
+	// Causal identity (trace.go): deterministic IDs derived from the run
+	// seed and the span's position in the call tree; kids discriminates
+	// sequentially started children.
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
+	kids     atomic.Int64
 }
 
 // StartSpan opens a span named name under the innermost span carried by
 // ctx (the full path is parent/child), returning the derived context and
-// the span. Record the elapsed time with End.
+// the span. Record the elapsed time with End. Spans started concurrently
+// under one shared parent should use StartSpanKeyed so their IDs stay
+// deterministic.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return t.StartSpanKeyed(ctx, name, "")
+}
+
+// StartSpanKeyed is StartSpan with an explicit sibling key folded into the
+// span-ID derivation instead of the parent's ordinal child counter. Use it
+// when siblings start concurrently (pooled workers), where counter order
+// would depend on scheduling — a stable key (e.g. a candidate ID) keeps the
+// span ID identical across runs and worker counts. An empty key means
+// ordinal derivation.
+func (t *Tracer) StartSpanKeyed(ctx context.Context, name, key string) (context.Context, *Span) {
 	path := name
-	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if parent != nil {
 		path = parent.path + "/" + name
 	}
-	s := &Span{tracer: t, path: path, start: time.Now()}
+	traceID, spanID, parentID := t.deriveIDs(parent, name, key)
+	s := &Span{
+		tracer:   t,
+		name:     name,
+		path:     path,
+		start:    time.Now(),
+		traceID:  traceID,
+		spanID:   spanID,
+		parentID: parentID,
+	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
 // StartSpan opens a span on the process-wide default tracer.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return defaultTracer.StartSpan(ctx, name)
+}
+
+// StartSpanKeyed opens a keyed span on the process-wide default tracer.
+func StartSpanKeyed(ctx context.Context, name, key string) (context.Context, *Span) {
+	return defaultTracer.StartSpanKeyed(ctx, name, key)
 }
 
 // Name returns the span's full hierarchical name.
@@ -68,13 +116,43 @@ func (s *Span) Name() string {
 }
 
 // End closes the span and folds its wall time into the tracer's per-name
-// aggregate, returning the elapsed duration (zero on repeated End).
+// aggregate, returning the elapsed duration (zero on repeated End). When
+// trace events are on, the completed span is additionally retained as a
+// SpanRecord and — on the default tracer with the journal recording —
+// emitted as a journal "span" event (times in microseconds, IDs in hex
+// wire form).
 func (s *Span) End() time.Duration {
 	if s == nil || s.done.Swap(true) {
 		return 0
 	}
 	d := time.Since(s.start)
 	s.tracer.record(s.path, d)
+	if s.tracer.eventsOn.Load() {
+		rec := SpanRecord{
+			Name:     s.name,
+			Path:     s.path,
+			TraceID:  s.traceID,
+			SpanID:   s.spanID,
+			ParentID: s.parentID,
+			StartNS:  s.start.UnixNano(),
+			DurNS:    d.Nanoseconds(),
+		}
+		s.tracer.recordEvent(rec)
+		if s.tracer == defaultTracer && defaultJournal.Enabled() {
+			data := map[string]any{
+				"name":     s.name,
+				"path":     s.path,
+				"trace_id": FormatID(s.traceID),
+				"span_id":  FormatID(s.spanID),
+				"start_us": float64(rec.StartNS) / 1e3,
+				"dur_us":   float64(rec.DurNS) / 1e3,
+			}
+			if s.parentID != 0 {
+				data["parent_id"] = FormatID(s.parentID)
+			}
+			defaultJournal.Emit(EvSpan, "", data)
+		}
+	}
 	return d
 }
 

@@ -243,8 +243,8 @@ func TableIIIContext(ctx context.Context, sizes []int, seed int64) ([]SpeedRow, 
 		// allowed to read the wall clock — so the numerical packages stay
 		// clock-free and the per-size timings still land in the trace
 		// aggregates (validate.table3.circuit / validate.table3.model).
-		_, circuitSpan := telemetry.StartSpan(ctx, "validate.table3.circuit")
-		res, err := c.SolveContext(ctx, vin, circuit.SolveOptions{})
+		cctx, circuitSpan := telemetry.StartSpan(ctx, "validate.table3.circuit")
+		res, err := c.SolveContext(cctx, vin, circuit.SolveOptions{})
 		circuitTime := circuitSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("validate: size %d: %w", size, err)
