@@ -9,6 +9,7 @@
 //	mnsim-journal summarize run.jsonl              # per-type / per-span stats
 //	mnsim-journal slowest -n 5 run.jsonl           # slowest solves + cost breakdown
 //	mnsim-journal outliers run.jsonl               # stagnated / decay-anomalous solves
+//	mnsim-journal resources run.jsonl              # resource samples + spike/solve correlation
 //	mnsim-journal timeline cand-64x16@45 run.jsonl # one candidate's causal chain
 //	mnsim-journal export -o trace.json run.jsonl   # journal -> Chrome trace events
 package main
@@ -37,6 +38,7 @@ func usage() error {
   mnsim-journal summarize <journal.jsonl>
   mnsim-journal slowest [-n 10] <journal.jsonl>
   mnsim-journal outliers <journal.jsonl>
+  mnsim-journal resources [-n 5] <journal.jsonl>
   mnsim-journal timeline <candidate-id> <journal.jsonl>
   mnsim-journal export [-o trace.json] <journal.jsonl>`)
 }
@@ -67,6 +69,16 @@ func run(w io.Writer, args []string) error {
 			return usage()
 		}
 		return outliers(w, rest[0])
+	case "resources":
+		fs := flag.NewFlagSet("resources", flag.ContinueOnError)
+		n := fs.Int("n", 5, "how many slow solves to correlate against resource spikes")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return usage()
+		}
+		return resources(w, fs.Arg(0), *n)
 	case "timeline":
 		if len(rest) != 2 {
 			return usage()
@@ -350,6 +362,157 @@ func outliers(w io.Writer, path string) error {
 		return nil
 	}
 	return t.Render(w)
+}
+
+// --- resources --------------------------------------------------------------
+
+// resSample is one resource_sample event flattened for analysis.
+type resSample struct {
+	tns        int64
+	heapLive   uint64
+	heapGoal   uint64
+	allocB     uint64
+	allocO     uint64
+	goroutines int64
+	gcCycles   uint64
+	gcPauseNS  int64
+	gcFrac     float64
+	schedP99US float64
+}
+
+func resourceSamples(events []telemetry.Event) []resSample {
+	var out []resSample
+	u64 := func(d map[string]any, k string) uint64 {
+		f, _ := d[k].(float64)
+		if f < 0 {
+			return 0
+		}
+		return uint64(f)
+	}
+	for _, ev := range events {
+		if ev.Type != telemetry.EvResourceSample {
+			continue
+		}
+		s := resSample{tns: ev.TNS}
+		s.heapLive = u64(ev.Data, "heap_live_bytes")
+		s.heapGoal = u64(ev.Data, "heap_goal_bytes")
+		s.allocB = u64(ev.Data, "total_alloc_bytes")
+		s.allocO = u64(ev.Data, "total_alloc_objects")
+		s.goroutines = int64(u64(ev.Data, "goroutines"))
+		s.gcCycles = u64(ev.Data, "gc_cycles")
+		s.gcPauseNS = int64(u64(ev.Data, "gc_pause_total_ns"))
+		s.gcFrac, _ = ev.Data["gc_cpu_fraction"].(float64)
+		s.schedP99US, _ = ev.Data["sched_latency_p99_us"].(float64)
+		out = append(out, s)
+	}
+	return out
+}
+
+// resources summarizes the resource_sample stream — peaks, run-scoped
+// allocation/GC deltas, pressure and stall counts — then correlates the
+// slowest solves with the runtime state around them: for each of the top-n
+// solves, the peak live heap and the GC cycles retired inside the solve's
+// wall-clock window. A solve that is slow *and* coincides with a heap spike
+// or a GC burst is memory-bound, not math-bound.
+func resources(w io.Writer, path string, n int) error {
+	events, err := load(path)
+	if err != nil {
+		return err
+	}
+	samples := resourceSamples(events)
+	if len(samples) == 0 {
+		return fmt.Errorf("%s: no resource_sample events (run with -resource-interval)", path)
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	var peakHeap uint64
+	var maxGoroutines int64
+	var maxSchedP99 float64
+	for _, s := range samples {
+		if s.heapLive > peakHeap {
+			peakHeap = s.heapLive
+		}
+		if s.goroutines > maxGoroutines {
+			maxGoroutines = s.goroutines
+		}
+		if s.schedP99US > maxSchedP99 {
+			maxSchedP99 = s.schedP99US
+		}
+	}
+	pressures, stalls := 0, 0
+	for _, ev := range events {
+		switch ev.Type {
+		case telemetry.EvMemPressure:
+			pressures++
+		case telemetry.EvWatchdogStall:
+			stalls++
+		}
+	}
+	spanMS := float64(last.tns-first.tns) / 1e6
+	t := &report.Table{Title: "Resource samples", Headers: []string{"Metric", "Value"}}
+	t.AddRow("Samples", len(samples))
+	t.AddRow("Span", fmt.Sprintf("%.1f ms", spanMS))
+	t.AddRow("Peak live heap", telemetry.FormatByteSize(peakHeap))
+	t.AddRow("Final heap goal", telemetry.FormatByteSize(last.heapGoal))
+	t.AddRow("Max goroutines", maxGoroutines)
+	t.AddRow("Allocated", fmt.Sprintf("%s (%d objects)",
+		telemetry.FormatByteSize(last.allocB-first.allocB), last.allocO-first.allocO))
+	t.AddRow("GC cycles", last.gcCycles-first.gcCycles)
+	t.AddRow("GC pause", fmt.Sprintf("%.3f ms", float64(last.gcPauseNS-first.gcPauseNS)/1e6))
+	t.AddRow("GC CPU fraction", fmt.Sprintf("%.4f", last.gcFrac))
+	t.AddRow("Max sched p99", fmt.Sprintf("%.1f us", maxSchedP99))
+	t.AddRow("Mem pressure events", pressures)
+	t.AddRow("Watchdog stalls", stalls)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	solves := solveEnds(events)
+	if len(solves) == 0 {
+		return nil
+	}
+	// Attach end times: solveEnds drops the envelope TNS, so re-walk.
+	endTNS := map[string]int64{}
+	for _, ev := range events {
+		if ev.Type == telemetry.EvSolveEnd {
+			endTNS[ev.ID] = ev.TNS
+		}
+	}
+	sort.SliceStable(solves, func(i, j int) bool { return solves[i].durUS > solves[j].durUS })
+	if n > len(solves) {
+		n = len(solves)
+	}
+	ct := &report.Table{
+		Title:   fmt.Sprintf("Slowest %d solves vs runtime state", n),
+		Headers: []string{"Solve", "Dur (us)", "Heap in window", "GC cycles", "Goroutines"},
+	}
+	for _, s := range solves[:n] {
+		end := endTNS[s.id]
+		start := end - int64(s.durUS*1e3)
+		// Samples inside the solve window, widened to the bracketing samples
+		// so short solves between two ticks still get runtime context.
+		lo := sort.Search(len(samples), func(i int) bool { return samples[i].tns >= start })
+		hi := sort.Search(len(samples), func(i int) bool { return samples[i].tns > end })
+		if lo > 0 {
+			lo--
+		}
+		if hi >= len(samples) {
+			hi = len(samples) - 1
+		}
+		var heap uint64
+		var gor int64
+		for _, smp := range samples[lo : hi+1] {
+			if smp.heapLive > heap {
+				heap = smp.heapLive
+			}
+			if smp.goroutines > gor {
+				gor = smp.goroutines
+			}
+		}
+		cycles := samples[hi].gcCycles - samples[lo].gcCycles
+		ct.AddRow(s.id, fmt.Sprintf("%.1f", s.durUS), telemetry.FormatByteSize(heap), cycles, gor)
+	}
+	fmt.Fprintln(w)
+	return ct.Render(w)
 }
 
 // --- timeline ---------------------------------------------------------------

@@ -94,6 +94,89 @@ func TestSlowest(t *testing.T) {
 	}
 }
 
+// writeResourceJournal produces a journal carrying resource_sample events
+// bracketing a journaled solve, plus one mem_pressure event — the shape a
+// run with -resource-interval and -mem-soft-limit leaves behind.
+func writeResourceJournal(t *testing.T) string {
+	t.Helper()
+	j := telemetry.DefaultJournal()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := j.Open(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		j.Close()
+		j.Reset()
+	})
+	sample := func(heap, allocB, allocO, cycles uint64, gor int64) {
+		telemetry.EmitEvent(telemetry.EvResourceSample, "", map[string]any{
+			"heap_live_bytes":      heap,
+			"heap_goal_bytes":      heap * 2,
+			"total_alloc_bytes":    allocB,
+			"total_alloc_objects":  allocO,
+			"goroutines":           gor,
+			"gc_cycles":            cycles,
+			"gc_pause_total_ns":    int64(cycles) * 50_000,
+			"gc_cpu_fraction":      0.01,
+			"sched_latency_p99_us": 120.0,
+		})
+	}
+	sample(10<<20, 100<<20, 1000, 3, 4)
+	dev := device.RRAM()
+	r := make([][]float64, 4)
+	for i := range r {
+		r[i] = make([]float64, 4)
+		for k := range r[i] {
+			r[i][k] = 150e3
+		}
+	}
+	c := &circuit.Crossbar{M: 4, N: 4, R: r, WireR: 0.5, RSense: 1500, Dev: dev}
+	if _, err := c.Solve([]float64{0.3, 0.2, 0.1, 0.3}, circuit.SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sample(48<<20, 180<<20, 2500, 7, 9)
+	telemetry.EmitEvent(telemetry.EvMemPressure, "", map[string]any{
+		"heap_live_bytes": uint64(48 << 20),
+		"limit_bytes":     uint64(32 << 20),
+		"heap_profile":    "heap-pressure-1.pprof",
+	})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResources(t *testing.T) {
+	path := writeResourceJournal(t)
+	out := runCmd(t, "resources", "-n", "2", path)
+	for _, want := range []string{
+		"Resource samples",
+		"Peak live heap",
+		"48.0 MiB",                // peak of the two samples
+		"80.0 MiB (1500 objects)", // run-scoped alloc delta
+		"Mem pressure events",
+		"Slowest 1 solves vs runtime state",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("resources output missing %q:\n%s", want, out)
+		}
+	}
+	// The correlation row must attribute the in-window GC cycles (7-3=4)
+	// and peak heap to the solve.
+	if !strings.Contains(out, "4") {
+		t.Fatalf("correlation table missing GC delta:\n%s", out)
+	}
+}
+
+func TestResourcesNoSamples(t *testing.T) {
+	path, _ := writeTracedJournal(t)
+	var sb strings.Builder
+	err := run(&sb, []string{"resources", path})
+	if err == nil || !strings.Contains(err.Error(), "no resource_sample events") {
+		t.Fatalf("want no-samples error, got %v", err)
+	}
+}
+
 func TestOutliersHealthyRun(t *testing.T) {
 	path, _ := writeTracedJournal(t)
 	out := runCmd(t, "outliers", path)

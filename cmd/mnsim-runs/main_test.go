@@ -162,3 +162,50 @@ func TestShowRendersManifest(t *testing.T) {
 		t.Error("show accepted a missing manifest")
 	}
 }
+
+func TestShowRendersResourceRollup(t *testing.T) {
+	dir := t.TempDir()
+	m := sampleManifest()
+	m.Resources = &telemetry.ResourceRollup{
+		Samples:           120,
+		IntervalMS:        1000,
+		PeakHeapLiveBytes: 96 << 20,
+		MaxGoroutines:     17,
+		TotalAllocBytes:   3 << 30,
+		TotalAllocObjects: 4_200_000,
+		GCCycles:          58,
+		GCPauseTotalNS:    2_400_000,
+		GCCPUFraction:     0.013,
+		MemPressureEvents: 2,
+		WatchdogStalls:    1,
+	}
+	path := writeManifest(t, dir, "run.json", m)
+	var sb strings.Builder
+	if err := runShow(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Resource rollup",
+		"120 @ 1000ms",
+		"96.0 MiB",
+		"3.0 GiB (4200000 objects)",
+		"58 cycles",
+		"Mem pressure events",
+		"Watchdog stalls",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q:\n%s", want, out)
+		}
+	}
+	// A manifest without a rollup must not render the section at all.
+	m.Resources = nil
+	path = writeManifest(t, dir, "plain.json", m)
+	sb.Reset()
+	if err := runShow(&sb, path); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Resource rollup") {
+		t.Error("rollup section rendered for a manifest without resources")
+	}
+}

@@ -162,6 +162,38 @@ func TestGateSyntheticRegression(t *testing.T) {
 	}
 }
 
+// A zero baseline is an exact pin: committing allocs/op = 0 asserts the
+// steady-state path never allocates, and the gate must fail ANY nonzero
+// current value no matter how generous the tolerance, with a reason that
+// names the pin rather than a nonsensical percentage-of-zero.
+func TestGateZeroBaselinePinsMetric(t *testing.T) {
+	zero := sampleDoc()
+	zero.Benchmarks[0].Metrics["allocs/op"] = 0
+	same := sampleDoc()
+	same.Benchmarks[0].Metrics["allocs/op"] = 0
+	if deltas, n := Gate(zero, same, GateOptions{}); n != 0 {
+		t.Fatalf("zero-vs-zero regressed: %+v", deltas)
+	}
+	leaky := sampleDoc()
+	leaky.Benchmarks[0].Metrics["allocs/op"] = 1
+	deltas, n := Gate(zero, leaky, GateOptions{MetricTol: 0.50})
+	if n != 1 {
+		t.Fatalf("1 alloc against a zero pin: %d regressions, want 1", n)
+	}
+	var hit *Delta
+	for i := range deltas {
+		if deltas[i].Regression {
+			hit = &deltas[i]
+		}
+	}
+	if hit == nil || hit.Unit != "allocs/op" {
+		t.Fatalf("wrong regression flagged: %+v", hit)
+	}
+	if !strings.Contains(hit.Reason, "pins allocs/op at zero") {
+		t.Fatalf("zero-pin reason missing, got %q", hit.Reason)
+	}
+}
+
 // Pre-stats baselines (no ns_stat) gate on the median via MinNs fallback.
 func TestGatePreStatsBaseline(t *testing.T) {
 	base := sampleDoc()

@@ -91,6 +91,9 @@ func Gate(base, cur *Doc, opt GateOptions) (deltas []Delta, regressions int) {
 
 // compare judges one metric: only increases beyond tolerance regress — a
 // decrease is an improvement, recorded in the delta but never failed on.
+// A zero baseline is the strictest contract of all: it asserts the metric
+// stays at exactly zero (the steady-state allocs/op of a warmed solver,
+// say), so any nonzero current value regresses no matter the tolerance.
 func compare(name, unit string, base, cur, tol float64) Delta {
 	d := Delta{Bench: name, Unit: unit, Base: base, Cur: cur}
 	if base > 0 {
@@ -98,7 +101,11 @@ func compare(name, unit string, base, cur, tol float64) Delta {
 	}
 	if cur > base*(1+tol) {
 		d.Regression = true
-		d.Reason = fmt.Sprintf("%.4g exceeds baseline %.4g by more than %g%%", cur, base, tol*100)
+		if base == 0 {
+			d.Reason = fmt.Sprintf("baseline pins %s at zero; current run reports %.4g", unit, cur)
+		} else {
+			d.Reason = fmt.Sprintf("%.4g exceeds baseline %.4g by more than %g%%", cur, base, tol*100)
+		}
 	}
 	return d
 }

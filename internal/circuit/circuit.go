@@ -236,6 +236,10 @@ type assembly struct {
 	memIdx  [][4]int // per cell: indices of its 4 triplets in trips
 	mat     *linalg.CSR
 	rhsBase []float64 // source contributions, constant across iterations
+	// rhsFull is restamp's reusable output buffer (rhsBase + Newton
+	// equivalent currents); kept on the assembly so a state-cached pattern
+	// also reuses the per-iteration right-hand side.
+	rhsFull []float64
 	srcG    float64
 }
 
@@ -376,7 +380,14 @@ func (c *Crossbar) precondBlocks() []linalg.Block {
 // current voltage estimate and returns the full right-hand side (source
 // terms plus Newton equivalent current sources).
 func (c *Crossbar) restamp(a *assembly, v []float64, ops *linalg.OpCount) []float64 {
-	rhs := make([]float64, len(a.rhsBase))
+	// The returned slice aliases a.rhsFull and is valid until the next
+	// restamp through this assembly; the inner solve consumes it within the
+	// same Newton iteration. The copy from rhsBase fully overwrites it, so
+	// reuse is bit-identical to a fresh allocation.
+	if cap(a.rhsFull) < len(a.rhsBase) {
+		a.rhsFull = make([]float64, len(a.rhsBase))
+	}
+	rhs := a.rhsFull[:len(a.rhsBase)]
 	copy(rhs, a.rhsBase)
 	for m := 0; m < c.M; m++ {
 		for n := 0; n < c.N; n++ {
@@ -657,7 +668,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	if !c.Linear && st.warmFor(c) {
 		// Warm start: resume Newton from the previous operating point; the
 		// setup linear solve is skipped entirely.
-		v = append([]float64(nil), st.v...)
+		v = st.warmCopy()
 		cost.assembly().CountBytes(16 * int64(n2))
 		diag.WarmStart = true
 		telWarmSolves.Inc()
@@ -671,7 +682,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 		}
 		// Initial linear solve at calibrated resistances.
 		var it int
-		v, it, err = linalg.SolveCG(a.mat, a.rhsBase, x0, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop(), Precond: pre})
+		v, it, err = linalg.SolveCG(a.mat, a.rhsBase, x0, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop(), Precond: pre, Work: st.cgWork()})
 		if err != nil {
 			return nil, fmt.Errorf("circuit: linear solve: %w", err)
 		}
@@ -705,7 +716,7 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 				baseline = -1
 				needRefresh = false
 			}
-			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop(), Precond: pre})
+			vNew, it, err := linalg.SolveCG(a.mat, rhs, v, linalg.CGOptions{Tol: opt.CGTol, Ops: cost.cgLoop(), Precond: pre, Work: st.cgWork()})
 			if err != nil {
 				return nil, fmt.Errorf("circuit: Newton linear solve: %w", err)
 			}
@@ -769,6 +780,12 @@ func (c *Crossbar) SolveContext(ctx context.Context, vin []float64, opt SolveOpt
 	diag.analyze()
 	res.Diag = diag
 	res.NodeV = v
+	if st != nil {
+		// With a state, v aliases its reusable CG/warm scratch; the result
+		// outlives the next solve through the state, so it gets its own
+		// storage.
+		res.NodeV = append([]float64(nil), v...)
+	}
 	res.VOut = c.extractVOut(v)
 	res.Power = c.sourcePower(vin, v)
 	// A converged solve feeds the state: its operating point warm-starts

@@ -1,0 +1,93 @@
+package circuit
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mnsim/internal/device"
+	"mnsim/internal/telemetry"
+)
+
+// withTestSampler starts the default resource sampler at an aggressive
+// interval for the duration of the test and stops it afterwards.
+func withTestSampler(t *testing.T) {
+	t.Helper()
+	s := telemetry.DefaultResourceSampler()
+	if err := s.Start(context.Background(), telemetry.ResourceConfig{
+		Interval: time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+}
+
+// Numerical neutrality: the resource sampler runs on its own goroutine and
+// reads only runtime/metrics — turning it on (even at a 1ms interval, far
+// hotter than any real run) must not change a single bit of the computed
+// solution or the solver's iteration counts.
+func TestResourceSamplingNumericallyNeutral(t *testing.T) {
+	c := &Crossbar{M: 4, N: 4, R: uniformR(4, 4, 150e3), WireR: 0.5, RSense: 1500, Dev: device.RRAM()}
+	vin := []float64{0.3, 0.2, 0.1, 0.3}
+	plain, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTestSampler(t)
+	// Also thread a warm-start state: the sampled solve must match the
+	// plain one on the cold path regardless of solver-side buffer reuse.
+	sampled, err := c.Solve(vin, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.NodeV {
+		if plain.NodeV[i] != sampled.NodeV[i] {
+			t.Fatalf("node %d: %v sampled vs %v plain", i, sampled.NodeV[i], plain.NodeV[i])
+		}
+	}
+	for n := range plain.VOut {
+		if plain.VOut[n] != sampled.VOut[n] {
+			t.Fatalf("column %d: %v sampled vs %v plain", n, sampled.VOut[n], plain.VOut[n])
+		}
+	}
+	if plain.Power != sampled.Power || plain.NewtonIters != sampled.NewtonIters || plain.CGIters != sampled.CGIters {
+		t.Fatal("solve statistics differ with resource sampling enabled")
+	}
+}
+
+// Warm-start determinism with sampling on: a stream of solves through one
+// SolverState must produce the same outputs whether or not the sampler is
+// running concurrently (the solver shares no state with the sampler).
+func TestResourceSamplingNeutralWarmPath(t *testing.T) {
+	c := &Crossbar{M: 8, N: 8, R: uniformR(8, 8, 150e3), WireR: 0.5, RSense: 1500, Dev: device.RRAM()}
+	vins := [][]float64{
+		{0.3, 0.2, 0.1, 0.3, 0.25, 0.15, 0.05, 0.2},
+		{0.31, 0.21, 0.11, 0.31, 0.26, 0.16, 0.06, 0.21},
+		{0.29, 0.19, 0.09, 0.29, 0.24, 0.14, 0.04, 0.19},
+	}
+	run := func() []*Result {
+		st := NewSolverState()
+		out := make([]*Result, len(vins))
+		for i, vin := range vins {
+			res, err := c.Solve(vin, SolveOptions{State: st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = res
+		}
+		return out
+	}
+	plain := run()
+	withTestSampler(t)
+	sampled := run()
+	for k := range plain {
+		for i := range plain[k].NodeV {
+			if plain[k].NodeV[i] != sampled[k].NodeV[i] {
+				t.Fatalf("solve %d node %d: %v sampled vs %v plain", k, i, sampled[k].NodeV[i], plain[k].NodeV[i])
+			}
+		}
+		if plain[k].CGIters != sampled[k].CGIters || plain[k].NewtonIters != sampled[k].NewtonIters {
+			t.Fatalf("solve %d iteration counts differ with sampling enabled", k)
+		}
+	}
+}

@@ -42,6 +42,14 @@ type SolverState struct {
 	// WarmState-seeded — trusted by length alone, for replays.
 	v      []float64
 	vM, vN int
+	// vwarm is the scratch the solve copies v into at warm start, so the
+	// Newton loop's working vector never aliases the stored operating point.
+	vwarm []float64
+	// work is the reusable CG scratch threaded into every inner linear
+	// solve through this state (see linalg.CGWork for the aliasing
+	// contract); it is what takes the warm re-solve path to near-zero
+	// steady-state allocations.
+	work linalg.CGWork
 	// memo of the last successful solve keyed by its exact inputs.
 	memo *memoEntry
 }
@@ -81,6 +89,22 @@ func (s *SolverState) WarmV() []float64 {
 		return nil
 	}
 	return append([]float64(nil), s.v...)
+}
+
+// cgWork returns the state's reusable CG scratch; nil for a nil state, so
+// stateless solves keep their historical per-call allocations.
+func (s *SolverState) cgWork() *linalg.CGWork {
+	if s == nil {
+		return nil
+	}
+	return &s.work
+}
+
+// warmCopy copies the stored operating point into the state's warm scratch
+// and returns it — the allocation-free equivalent of cloning s.v.
+func (s *SolverState) warmCopy() []float64 {
+	s.vwarm = append(s.vwarm[:0], s.v...)
+	return s.vwarm
 }
 
 // warmFor reports whether the state holds a warm-start vector usable for
@@ -167,32 +191,38 @@ func (s *SolverState) memoLookup(c *Crossbar, vin []float64, opt SolveOptions) *
 
 // store records a successful solve: the operating point for warm starts and
 // the memo for bit-identical re-solves. The stored result is a deep copy so
-// later caller mutations cannot corrupt the cache.
+// later caller mutations cannot corrupt the cache; the copy reuses the
+// previous memo's buffers, so a steady-state solve stream stores without
+// allocating.
 func (s *SolverState) store(c *Crossbar, vin []float64, opt SolveOptions, res *Result) {
 	if s == nil {
 		return
 	}
 	s.v = append(s.v[:0], res.NodeV...)
 	s.vM, s.vN = c.M, c.N
-	r := make([]float64, c.M*c.N)
-	for m := 0; m < c.M; m++ {
-		copy(r[m*c.N:], c.R[m])
-	}
 	opt.State = nil // break the cycle; matches() ignores it anyway
-	s.memo = &memoEntry{
-		m: c.M, n: c.N,
-		vin:   append([]float64(nil), vin...),
-		r:     r,
-		wireR: c.WireR, rsense: c.RSense,
-		linear: c.Linear, dev: c.Dev,
-		opt: opt,
-		res: &Result{
-			VOut:        append([]float64(nil), res.VOut...),
-			Power:       res.Power,
-			NewtonIters: res.NewtonIters,
-			CGIters:     res.CGIters,
-			NodeV:       append([]float64(nil), res.NodeV...),
-			Diag:        res.Diag,
-		},
+	e := s.memo
+	if e == nil {
+		e = &memoEntry{}
+		s.memo = e
 	}
+	if e.res == nil {
+		e.res = &Result{}
+	}
+	e.m, e.n = c.M, c.N
+	e.vin = append(e.vin[:0], vin...)
+	e.r = e.r[:0]
+	for m := 0; m < c.M; m++ {
+		e.r = append(e.r, c.R[m]...)
+	}
+	e.wireR, e.rsense = c.WireR, c.RSense
+	e.linear, e.dev = c.Linear, c.Dev
+	e.opt = opt
+	er := e.res
+	er.VOut = append(er.VOut[:0], res.VOut...)
+	er.Power = res.Power
+	er.NewtonIters = res.NewtonIters
+	er.CGIters = res.CGIters
+	er.NodeV = append(er.NodeV[:0], res.NodeV...)
+	er.Diag = res.Diag
 }

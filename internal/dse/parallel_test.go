@@ -154,6 +154,7 @@ func BenchmarkExplore(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			opt := Options{ErrorLimit: 0.25, Workers: workers, EvalSpin: spinRounds}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cands, err := Explore(context.Background(), base, largeLayer, space, opt)
 				if err != nil {

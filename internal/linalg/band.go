@@ -46,6 +46,38 @@ func FactorBandChol(n, bw int, ab []float64, ops *OpCount) (*BandChol, error) {
 	}
 	ops.CountBandFactor(n, bw)
 	rdiag := make([]float64, n)
+	if err := factorBandLoop(n, bw, ab, rdiag); err != nil {
+		return nil, err
+	}
+	return &BandChol{n: n, bw: bw, l: ab, rdiag: rdiag}, nil
+}
+
+// Refactor re-runs the factorisation on refilled band storage, reusing the
+// receiver's reciprocal-diagonal allocation when the shape matches. A nil
+// receiver or a shape change falls back to FactorBandChol; either way the
+// returned factor is the one to keep. This is what lets a preconditioner
+// refresh every solve without re-allocating a factor per block.
+func (f *BandChol) Refactor(n, bw int, ab []float64, ops *OpCount) (*BandChol, error) {
+	if f == nil || f.n != n || f.bw != bw {
+		return FactorBandChol(n, bw, ab, ops)
+	}
+	if len(ab) != n*(bw+1) {
+		return nil, fmt.Errorf("linalg: band storage %d, want %d", len(ab), n*(bw+1))
+	}
+	ops.CountBandFactor(n, bw)
+	if err := factorBandLoop(n, bw, ab, f.rdiag); err != nil {
+		return nil, err
+	}
+	f.l = ab
+	return f, nil
+}
+
+// factorBandLoop is the factorisation core shared by FactorBandChol and
+// Refactor: it overwrites ab with the banded Cholesky factor and fills
+// rdiag (len n) with the reciprocal pivots. On ErrNotSPD both are left
+// partially overwritten — callers discard the factor.
+func factorBandLoop(n, bw int, ab, rdiag []float64) error {
+	w1 := bw + 1
 	for i := 0; i < n; i++ {
 		lo := i - bw
 		if lo < 0 {
@@ -61,14 +93,14 @@ func FactorBandChol(n, bw int, ab []float64, ops *OpCount) (*BandChol, error) {
 				continue
 			}
 			if !(s > 0) || math.IsNaN(s) {
-				return nil, fmt.Errorf("%w (pivot %g at row %d)", ErrNotSPD, s, i)
+				return fmt.Errorf("%w (pivot %g at row %d)", ErrNotSPD, s, i)
 			}
 			d := math.Sqrt(s)
 			ab[i*w1+bw] = d
 			rdiag[i] = 1 / d
 		}
 	}
-	return &BandChol{n: n, bw: bw, l: ab, rdiag: rdiag}, nil
+	return nil
 }
 
 // N returns the factored dimension.

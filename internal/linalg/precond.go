@@ -162,7 +162,7 @@ func (p *BlockJacobi) Refresh(a *CSR, ops *OpCount) error {
 	w1 := p.bw + 1
 	for bi, b := range p.blocks {
 		seg := p.band[p.off[bi] : p.off[bi]+b.Len*w1]
-		f, err := FactorBandChol(b.Len, p.bw, seg, ops)
+		f, err := p.chols[bi].Refactor(b.Len, p.bw, seg, ops)
 		if err != nil {
 			return fmt.Errorf("linalg: block %d (start %d stride %d len %d): %w",
 				bi, b.Start, b.Stride, b.Len, err)

@@ -198,6 +198,55 @@ type CGOptions struct {
 	// (the warm-start early-exit check); a custom Precond charges its own
 	// apply cost and bumps PrecondApplies.
 	Ops *OpCount
+	// Work, when non-nil, supplies reusable scratch for the solve's working
+	// vectors, eliminating the five length-N allocations a cold call makes.
+	// See CGWork for the aliasing contract on the returned solution.
+	Work *CGWork
+}
+
+// CGWork is reusable scratch storage for SolveCG: the five length-N working
+// vectors a solve needs (solution, residual, preconditioned residual,
+// search direction, A·p). With CGOptions.Work set, the solution SolveCG
+// returns aliases Work storage; successive solves alternate between two
+// solution buffers, so the previous result stays valid across exactly one
+// further call — the v/vNew ping-pong a Newton loop needs. Callers keeping
+// a solution longer than that must copy it. Like every solver structure in
+// this package, a CGWork serves one goroutine at a time.
+type CGWork struct {
+	xs          [2][]float64
+	flip        int
+	r, z, p, ap []float64
+}
+
+// take returns the working vectors sized n, growing the underlying buffers
+// as needed; x is zeroed, matching a fresh allocation. A nil receiver
+// returns all nils, and SolveCG falls back to per-call allocation.
+func (w *CGWork) take(n int) (x, r, z, p, ap []float64) {
+	if w == nil {
+		return nil, nil, nil, nil, nil
+	}
+	w.xs[w.flip] = growVec(w.xs[w.flip], n)
+	x = w.xs[w.flip]
+	w.flip ^= 1
+	for i := range x {
+		x[i] = 0
+	}
+	w.r = growVec(w.r, n)
+	w.z = growVec(w.z, n)
+	w.p = growVec(w.p, n)
+	w.ap = growVec(w.ap, n)
+	return x, w.r, w.z, w.p, w.ap
+}
+
+// growVec returns buf resized to n, reallocating only when capacity is
+// short. Contents are unspecified — every SolveCG use fully overwrites the
+// vector before reading it, which is what keeps buffer reuse bit-identical
+// to fresh allocation.
+func growVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // SolveCG solves A·x = b for a symmetric positive-definite CSR matrix with
@@ -219,7 +268,13 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	}
 	ops := opt.Ops
 	nnz := len(a.Vals)
-	x := make([]float64, n)
+	// With scratch the vectors come pre-sized from the work pool (x zeroed);
+	// without it each is allocated at its historical site below, so cold
+	// early-exit paths stay as cheap as they always were.
+	x, wr, wz, wp, wap := opt.Work.take(n)
+	if x == nil {
+		x = make([]float64, n)
+	}
 	if x0 != nil {
 		copy(x, x0)
 		ops.CountBytes(16 * int64(n))
@@ -232,7 +287,10 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 		}
 		pre = jp
 	}
-	r := make([]float64, n)
+	r := wr
+	if r == nil {
+		r = make([]float64, n)
+	}
 	a.MulVec(x, r)
 	ops.CountSpMV(nnz, n)
 	for i := range r {
@@ -262,14 +320,23 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 			return x, 0, nil
 		}
 	}
-	z := make([]float64, n)
+	z := wz
+	if z == nil {
+		z = make([]float64, n)
+	}
 	pre.Apply(r, z, ops)
-	p := make([]float64, n)
+	p := wp
+	if p == nil {
+		p = make([]float64, n)
+	}
 	copy(p, z)
 	ops.CountBytes(16 * int64(n))
 	rz := Dot(r, z)
 	ops.CountDot(n)
-	ap := make([]float64, n)
+	ap := wap
+	if ap == nil {
+		ap = make([]float64, n)
+	}
 	for it := 1; it <= opt.MaxIter; it++ {
 		a.MulVec(p, ap)
 		ops.CountSpMV(nnz, n)

@@ -10,8 +10,10 @@ import (
 // flight-recorder snapshot re-run on another machine reproduces the
 // original solve bit for bit. A single time.Now there (say, a timing
 // heuristic that switches solver paths) makes replay diverge
-// unreproducibly. Wall-clock reads belong in internal/telemetry spans,
-// which wrap the numerics from the outside.
+// unreproducibly. Wall-clock reads belong in internal/telemetry — spans,
+// the journal, and the resource sampler (whose tick loop, stall watchdog,
+// and profile rotation are wall-clock driven by design) — which observe
+// the numerics from the outside without feeding time back into them.
 var NoClock = &Analyzer{
 	Name:       "noclock",
 	Doc:        "no time.Now/time.Since in the numerical packages (circuit, linalg, crossbar, device); time via telemetry spans",

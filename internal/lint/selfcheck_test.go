@@ -19,3 +19,23 @@ func TestSelfCheck(t *testing.T) {
 		t.Errorf("self-check finding: %s", d)
 	}
 }
+
+// TestTelemetryStaysClean pins the telemetry package — the one sanctioned
+// home for wall-clock reads (spans, journal timestamps, the resource
+// sampler's tick/watchdog/profile machinery) — to the rest of the lint
+// rules. Being exempt from noclock by scope is not a blanket exemption:
+// the sampler and watchdog code must still pass norawrand, ctxloop,
+// nofloateq, noprint, and errdrop in strict mode.
+func TestTelemetryStaysClean(t *testing.T) {
+	res, err := Run(Options{
+		Patterns: []string{"../telemetry"},
+		Tests:    true,
+		Strict:   true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("telemetry finding: %s", d)
+	}
+}

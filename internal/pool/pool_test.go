@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mnsim/internal/telemetry"
 )
@@ -158,4 +159,32 @@ func TestResolve(t *testing.T) {
 	if got := Resolve(7); got != 7 {
 		t.Errorf("Resolve(7) = %d", got)
 	}
+}
+
+// The pool must leave no goroutines behind after Run returns — on the
+// success, error, and cancellation paths alike. Part of the repo-wide
+// clean-shutdown contract (the resource sampler's goroutine-leak test is
+// the telemetry-side counterpart).
+func TestRunLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		_ = Run(context.Background(), 50, 4, func(context.Context, int) error { return nil })
+		_ = Run(context.Background(), 50, 4, func(_ context.Context, i int) error {
+			if i == 10 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_ = Run(ctx, 50, 4, func(context.Context, int) error { return nil })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }

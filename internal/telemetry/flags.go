@@ -34,6 +34,20 @@ import (
 //	                    /debug/pprof/*
 //	-progress           print a rate-limited live progress line to stderr
 //	-log-level level    default-logger verbosity (debug|info|warn|error|off)
+//	-resource-interval d  sample runtime/metrics (heap, GC, goroutines,
+//	                    scheduler latency) every d; exports to the registry,
+//	                    the journal (resource_sample events), /resources.json,
+//	                    and manifest rollups
+//	-mem-soft-limit sz  soft memory watermark ("64MiB", "1GB", plain bytes):
+//	                    live heap at or above it journals mem_pressure and
+//	                    captures a heap profile
+//	-stall-timeout d    stall watchdog: no journal/progress activity for d
+//	                    journals watchdog_stall and captures a goroutine
+//	                    profile
+//	-profile-dir dir    continuous profiling: rotating CPU profiles plus
+//	                    periodic heap profiles under dir, recorded as
+//	                    manifest artifacts
+//	-profile-interval d profile rotation cadence (default 30s)
 //
 // Wire them with AddFlags before flag.Parse, call StartContext after
 // parsing with the CLI's signal context (cancelling it shuts the servers
@@ -53,6 +67,12 @@ type Flags struct {
 	Progress    bool
 	LogLevel    string
 
+	ResourceInterval time.Duration
+	MemSoftLimit     string
+	StallTimeout     time.Duration
+	ProfileDir       string
+	ProfileInterval  time.Duration
+
 	// Run is the manifest-identity record the CLI fills in after parsing
 	// (SetTool, SetSeed, SetWorkers, SetConfigHash, SetError).
 	Run *RunInfo
@@ -68,6 +88,7 @@ type Flags struct {
 	pprofAddr string
 	progStop  chan struct{}
 	progDone  chan struct{}
+	sampling  bool
 }
 
 // AddFlags registers the shared observability flags on fs.
@@ -93,6 +114,16 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 		"print a live, rate-limited progress line (done/total, rate, ETA) to stderr")
 	fs.StringVar(&f.LogLevel, "log-level", "",
 		"structured-log verbosity: debug, info, warn (default), error, off")
+	fs.DurationVar(&f.ResourceInterval, "resource-interval", 0,
+		"sample runtime resources (heap, GC, goroutines, scheduler latency) at this interval; 0 disables unless a watchdog or -profile-dir needs the tick")
+	fs.StringVar(&f.MemSoftLimit, "mem-soft-limit", "",
+		"soft memory watermark (e.g. 64MiB, 1GB): live heap at or above it journals a mem_pressure event and captures a heap profile")
+	fs.DurationVar(&f.StallTimeout, "stall-timeout", 0,
+		"stall watchdog: no journal/progress activity for this long journals a watchdog_stall event and captures a goroutine profile")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "",
+		"continuous profiling: write rotating CPU profiles and periodic heap profiles under this directory, recorded as manifest artifacts")
+	fs.DurationVar(&f.ProfileInterval, "profile-interval", 0,
+		"continuous-profile rotation cadence (default 30s)")
 	return f
 }
 
@@ -164,6 +195,30 @@ func (f *Flags) StartContext(ctx context.Context) error {
 	}
 	if f.Progress {
 		f.startProgressPrinter(ctx)
+	}
+	// Resource sampler: any of the resource flags turns it on (the
+	// watchdogs and profiler ride the sampling tick); with none set it
+	// never starts, so an uninstrumented run pays nothing.
+	if f.ResourceInterval > 0 || f.MemSoftLimit != "" || f.StallTimeout > 0 || f.ProfileDir != "" {
+		memLimit, err := ParseByteSize(f.MemSoftLimit)
+		if err != nil {
+			return err
+		}
+		cfg := ResourceConfig{
+			Interval:          f.ResourceInterval,
+			MemSoftLimitBytes: memLimit,
+			StallTimeout:      f.StallTimeout,
+			ProfileDir:        f.ProfileDir,
+			ProfileInterval:   f.ProfileInterval,
+			Journal:           true,
+		}
+		if f.Run != nil {
+			cfg.Artifact = f.Run.SetArtifact
+		}
+		if err := defaultResources.Start(ctx, cfg); err != nil {
+			return err
+		}
+		f.sampling = true
 	}
 	return nil
 }
@@ -282,6 +337,15 @@ func (f *Flags) Finish() error {
 		close(f.progStop)
 		<-f.progDone
 		f.progStop, f.progDone = nil, nil
+	}
+	// Stop the sampler before any dump is written: its final flush must be
+	// in the journal, and its rollup in the manifest.
+	if f.sampling {
+		defaultResources.Stop()
+		if f.Run != nil {
+			f.Run.SetResources(defaultResources.Rollup())
+		}
+		f.sampling = false
 	}
 	var first error
 	record := func(kind, path string) {

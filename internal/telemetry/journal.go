@@ -38,6 +38,12 @@ import (
 //	    ID stamps on solve/candidate/trial events. Version-1 journals
 //	    still read cleanly (the additions are new events and new data
 //	    keys); readers refuse versions *newer* than they understand.
+//	    PR 9 added "resource_sample"/"watchdog_stall"/"mem_pressure"
+//	    WITHOUT a version bump: new event types within a supported schema
+//	    version are forward-compatible by contract — readers must carry
+//	    unknown event types through untouched and skip them in typed
+//	    processing, never error. Bump the version only when the envelope
+//	    (seq/t_ns/type/id/data) or an existing event's meaning changes.
 const JournalSchemaVersion = 2
 
 // SchemaVersionError reports a journal written by a newer tool than the
@@ -79,6 +85,17 @@ const (
 	// EvSpan records one completed trace span (schema v2): name, path,
 	// trace/span/parent IDs in hex wire form, start_us and dur_us.
 	EvSpan EventType = "span"
+	// EvResourceSample records one resource-sampler observation: heap,
+	// allocation totals, goroutines, GC pause/CPU, scheduler latency.
+	EvResourceSample EventType = "resource_sample"
+	// EvWatchdogStall records a stall-watchdog firing: no journal/progress
+	// activity for the configured window; carries the quiet duration and
+	// the goroutine-profile capture path.
+	EvWatchdogStall EventType = "watchdog_stall"
+	// EvMemPressure records a soft-memory-watermark crossing: live heap at
+	// or above -mem-soft-limit; carries the heap size, the limit, and the
+	// heap-profile capture path.
+	EvMemPressure EventType = "mem_pressure"
 )
 
 // Event is one journal record. Data keys are event-type specific; the
@@ -223,6 +240,15 @@ func (j *Journal) Meta() (tool string, seed *int64) {
 func (j *Journal) Emit(typ EventType, id string, data map[string]any) {
 	if !j.enabled.Load() {
 		return
+	}
+	// Journal traffic is the stall watchdog's primary liveness signal: a
+	// journaled run that stops emitting has stopped doing observable work.
+	// The sampler's own events are excluded — periodic resource samples
+	// would otherwise re-arm the watchdog forever.
+	switch typ {
+	case EvResourceSample, EvWatchdogStall, EvMemPressure:
+	default:
+		noteActivity()
 	}
 	now := time.Now().UnixNano()
 	j.mu.Lock()

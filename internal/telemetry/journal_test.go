@@ -55,7 +55,8 @@ func TestJournalSchemaGolden(t *testing.T) {
 func TestJournalEventTypes(t *testing.T) {
 	j, path := newTestJournal(t, 16)
 	types := []EventType{EvSolveStart, EvNewtonIter, EvSolveEnd,
-		EvTransientSettle, EvCandidateEval, EvMCTrial, EvPhase, EvSpan}
+		EvTransientSettle, EvCandidateEval, EvMCTrial, EvPhase, EvSpan,
+		EvResourceSample, EvWatchdogStall, EvMemPressure}
 	for i, typ := range types {
 		j.Emit(typ, fmt.Sprintf("id-%d", i), map[string]any{"k": i})
 	}
@@ -84,6 +85,41 @@ func TestJournalEventTypes(t *testing.T) {
 		if ev.Seq != int64(i+2) {
 			t.Errorf("event %d seq %d, want %d", i, ev.Seq, i+2)
 		}
+	}
+}
+
+// Forward compatibility within schema v2: event types this reader has
+// never heard of (emitted by a newer writer) must survive a round trip
+// with their type and data intact, not error or get dropped. New event
+// kinds are added without a version bump; only envelope changes bump.
+func TestJournalReaderToleratesUnknownEventTypes(t *testing.T) {
+	j, path := newTestJournal(t, 16)
+	j.Emit(EvSolveStart, "solve-1", map[string]any{"m": 4})
+	j.Emit(EventType("quantum_flux"), "future-1", map[string]any{"flux": 0.75, "units": "Wb"})
+	j.Emit(EvSolveEnd, "solve-1", map[string]any{"ok": true})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatalf("reader rejected unknown event type: %v", err)
+	}
+	if len(events) != 4 { // header + 3 emits
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	unk := events[2]
+	if unk.Type != EventType("quantum_flux") {
+		t.Fatalf("unknown type mangled: %q", unk.Type)
+	}
+	if unk.ID != "future-1" {
+		t.Fatalf("unknown event id %q", unk.ID)
+	}
+	if v, ok := unk.Data["flux"].(float64); !ok || v != 0.75 {
+		t.Fatalf("unknown event data mangled: %v", unk.Data)
+	}
+	// And the known events around it are untouched.
+	if events[1].Type != EvSolveStart || events[3].Type != EvSolveEnd {
+		t.Fatalf("neighbors mangled: %q, %q", events[1].Type, events[3].Type)
 	}
 }
 

@@ -72,6 +72,9 @@ func (p *Phase) Add(n int64) {
 	if p == nil || n <= 0 {
 		return
 	}
+	// Progress bumps count as liveness for the stall watchdog, so an
+	// unjournaled sweep still re-arms it.
+	noteActivity()
 	done := p.done.Add(n)
 	now := time.Now().UnixNano()
 	last := p.lastSampleNS.Load()
