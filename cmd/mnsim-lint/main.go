@@ -1,11 +1,14 @@
-// Command mnsim-lint runs the project's static-analysis pass: six
+// Command mnsim-lint runs the project's static-analysis pass: nine
 // analyzers that mechanically enforce the simulator's determinism,
-// cancellation, and clock-hygiene invariants (see internal/lint and the
-// "Enforced invariants" appendix in DESIGN.md).
+// cancellation, clock-hygiene, concurrency-safety, and hot-path
+// allocation invariants (see internal/lint and the "Enforced
+// invariants" appendix in DESIGN.md). Six are syntax-shaped; lockbalance
+// and goleak are flow-aware over an intraprocedural CFG, and noalloc
+// drives `go build -gcflags=-m` against //lint:hotpath annotations.
 //
 // Usage:
 //
-//	mnsim-lint [-json] [-tests] [-strict] [packages...]
+//	mnsim-lint [-json] [-tests] [-strict] [-summary] [packages...]
 //
 // Package patterns follow the go tool ("./...", "./internal/circuit");
 // the default is "./...". Exit status is 0 when the tree is clean, 1
@@ -13,6 +16,11 @@
 // suppressible with a reasoned "//lint:ignore <analyzer> <reason>"
 // comment on the offending line or the line above; -strict additionally
 // flags suppressions that no longer match any finding.
+//
+// Identical findings — same position, analyzer, and message, e.g. one
+// leaked lock reported once per escaping path — are deduplicated before
+// reporting. -summary prints a per-analyzer finding-count and wall-time
+// table to stderr (JSON output always embeds it as "analyzers").
 package main
 
 import (
@@ -33,8 +41,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON document instead of text lines")
 	tests := fs.Bool("tests", false, "also load and analyze _test.go files")
 	strict := fs.Bool("strict", false, "flag stale //lint:ignore comments that suppress nothing")
+	summary := fs.Bool("summary", false, "print a per-analyzer finding-count and wall-time table to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: mnsim-lint [-json] [-tests] [-strict] [packages...]")
+		fmt.Fprintln(stderr, "usage: mnsim-lint [-json] [-tests] [-strict] [-summary] [packages...]")
 		fs.PrintDefaults()
 		fmt.Fprintln(stderr, "\nanalyzers:")
 		for _, a := range lint.All() {
@@ -61,6 +70,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	} else {
 		res.WriteText(stdout)
+	}
+	if *summary {
+		fmt.Fprintln(stderr, "mnsim-lint: per-analyzer summary:")
+		res.WriteSummary(stderr)
 	}
 	if len(res.Diagnostics) > 0 {
 		fmt.Fprintf(stderr, "mnsim-lint: %d finding(s)\n", len(res.Diagnostics))

@@ -56,6 +56,9 @@ func TestFixturesExitNonZero(t *testing.T) {
 		{"nofloateq", "nofloateq", "floating-point"},
 		{"noprint", "noprint/...", "writes to process stdout"},
 		{"errdrop", "errdrop", "silently discarded"},
+		{"lockbalance", "lockbalance", "not released on every path"},
+		{"goleak", "goleak", "no visible termination edge"},
+		{"noalloc", "noalloc", "heap escape in //lint:hotpath function"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -122,6 +125,81 @@ func TestJSONOutput(t *testing.T) {
 			t.Fatalf("malformed diagnostic: %+v", d)
 		}
 	}
+}
+
+// TestJSONAnalyzerStats checks the per-analyzer accounting embedded in
+// -json output: one entry per registered analyzer, counts consistent
+// with the diagnostics list.
+func TestJSONAnalyzerStats(t *testing.T) {
+	code, out, _ := capture(t, "-json", filepath.Join(fixtures, "errdrop"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+		} `json:"diagnostics"`
+		Analyzers []struct {
+			Name     string  `json:"name"`
+			Findings int     `json:"findings"`
+			WallMS   float64 `json:"wall_ms"`
+		} `json:"analyzers"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if len(doc.Analyzers) < 9 {
+		t.Fatalf("analyzers array has %d entries, want >= 9", len(doc.Analyzers))
+	}
+	byName := map[string]int{}
+	total := 0
+	for _, a := range doc.Analyzers {
+		byName[a.Name] = a.Findings
+		total += a.Findings
+		if a.WallMS < 0 {
+			t.Errorf("analyzer %s has negative wall time", a.Name)
+		}
+	}
+	if total != doc.Count {
+		t.Fatalf("per-analyzer findings sum to %d, count is %d", total, doc.Count)
+	}
+	if byName["errdrop"] == 0 {
+		t.Fatal("errdrop fixture reported zero errdrop findings in stats")
+	}
+}
+
+// TestSummaryFlag checks -summary prints the per-analyzer table to
+// stderr, keeping stdout reserved for diagnostics.
+func TestSummaryFlag(t *testing.T) {
+	code, out, errb := capture(t, "-summary", filepath.Join(fixtures, "errdrop"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb, "per-analyzer summary") || !strings.Contains(errb, "errdrop") {
+		t.Fatalf("stderr missing summary table:\n%s", errb)
+	}
+	if strings.Contains(out, "per-analyzer summary") {
+		t.Fatal("summary leaked to stdout")
+	}
+}
+
+// TestDedupIdenticalFindings pins the deduplication contract end to end:
+// a fixture package linted twice via two overlapping patterns yields each
+// finding once.
+func TestDedupIdenticalFindings(t *testing.T) {
+	dir := filepath.Join(fixtures, "errdrop")
+	once, _, _ := captureOut(t, dir)
+	twice, _, _ := captureOut(t, dir, dir)
+	if once != twice {
+		t.Fatalf("linting the same package via two patterns changed output:\n--- once ---\n%s--- twice ---\n%s", once, twice)
+	}
+}
+
+func captureOut(t *testing.T, patterns ...string) (string, string, int) {
+	t.Helper()
+	code, out, errb := capture(t, patterns...)
+	return out, errb, code
 }
 
 // TestBadFlagExits2 pins usage errors to exit code 2.

@@ -313,6 +313,11 @@ func (c *Crossbar) assemble(vin []float64, ops *linalg.OpCount) (*assembly, erro
 // conductances, calibrated cell conductances, and the source currents. Both
 // a fresh assembly and a SolverState-cached one fill values here, so the
 // matrix a solve starts from is bit-identical either way.
+//
+// Runs once per Newton iteration over every triplet: hot path, must not
+// allocate (all buffers live in the assembly).
+//
+//lint:hotpath
 func (c *Crossbar) stampValues(a *assembly, vin []float64, ops *linalg.OpCount) {
 	gw := c.wireG()
 	a.srcG = gw

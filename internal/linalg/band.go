@@ -108,8 +108,14 @@ func (f *BandChol) N() int { return f.n }
 
 // SolveInPlace overwrites b with A⁻¹·b via forward and back substitution
 // against the banded factor.
+//
+// Runs once per block per preconditioner apply: hot path, in-place by
+// construction.
+//
+//lint:hotpath
 func (f *BandChol) SolveInPlace(b []float64, ops *OpCount) {
 	if len(b) != f.n {
+		//lint:ignore noalloc panic-guard Sprintf boxes its args on the crash path only
 		panic(fmt.Sprintf("linalg: band solve rhs length %d, want %d", len(b), f.n))
 	}
 	ops.CountBandSolve(f.n, f.bw)

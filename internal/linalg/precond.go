@@ -173,6 +173,11 @@ func (p *BlockJacobi) Refresh(a *CSR, ops *OpCount) error {
 }
 
 // Apply solves each block independently: z = blockdiag(A)⁻¹·r.
+//
+// Called once per CG iteration; the gather/scatter buffer is the
+// preallocated p.scratch, so the whole apply is allocation-free.
+//
+//lint:hotpath
 func (p *BlockJacobi) Apply(r, z []float64, ops *OpCount) {
 	for bi, b := range p.blocks {
 		buf := p.scratch[:b.Len]

@@ -255,9 +255,19 @@ func growVec(buf []float64, n int) []float64 {
 // dominant, so CG converges in far fewer iterations than N. x0 may be nil;
 // a non-nil x0 that already meets the tolerance is returned bit-unchanged
 // after zero iterations — the contract warm-started re-solves rely on.
+//
+// The iteration loop is the simulator's hottest code: with CGWork
+// scratch it runs allocation-free (PR 9's bench gate pins allocs/op),
+// and the //lint:hotpath annotation makes the compiler's escape analysis
+// enforce that. The remaining suppressions below mark the deliberate
+// cold paths: error formatting, the Work==nil fallback allocations, and
+// breakdown error construction.
+//
+//lint:hotpath
 func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	n := a.N
 	if len(b) != n {
+		//lint:ignore noalloc error-path fmt args box once per misuse, never in the solve loop
 		return nil, 0, fmt.Errorf("linalg: rhs length %d, want %d", len(b), n)
 	}
 	if opt.Tol <= 0 {
@@ -273,6 +283,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	// early-exit paths stay as cheap as they always were.
 	x, wr, wz, wp, wap := opt.Work.take(n)
 	if x == nil {
+		//lint:ignore noalloc cold fallback when no CGWork scratch is supplied
 		x = make([]float64, n)
 	}
 	if x0 != nil {
@@ -289,6 +300,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	}
 	r := wr
 	if r == nil {
+		//lint:ignore noalloc cold fallback when no CGWork scratch is supplied
 		r = make([]float64, n)
 	}
 	a.MulVec(x, r)
@@ -322,11 +334,13 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	}
 	z := wz
 	if z == nil {
+		//lint:ignore noalloc cold fallback when no CGWork scratch is supplied
 		z = make([]float64, n)
 	}
 	pre.Apply(r, z, ops)
 	p := wp
 	if p == nil {
+		//lint:ignore noalloc cold fallback when no CGWork scratch is supplied
 		p = make([]float64, n)
 	}
 	copy(p, z)
@@ -335,6 +349,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	ops.CountDot(n)
 	ap := wap
 	if ap == nil {
+		//lint:ignore noalloc cold fallback when no CGWork scratch is supplied
 		ap = make([]float64, n)
 	}
 	for it := 1; it <= opt.MaxIter; it++ {
@@ -350,6 +365,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 			// exit condition ever fires until MaxIter.
 			observeCG(it)
 			telCGBreakdowns.Inc()
+			//lint:ignore noalloc breakdown error allocates once on the failure path only
 			return x, it, &BreakdownError{Iter: it, PAp: pap}
 		}
 		AXPY(alpha, p, x)
@@ -362,6 +378,7 @@ func SolveCG(a *CSR, b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 		if math.IsNaN(res) || math.IsInf(res, 0) {
 			observeCG(it)
 			telCGBreakdowns.Inc()
+			//lint:ignore noalloc breakdown error allocates once on the failure path only
 			return x, it, &BreakdownError{Iter: it, PAp: pap}
 		}
 		if res < opt.Tol {

@@ -2,7 +2,9 @@ package lint
 
 // All returns the full analyzer set in stable order. Each analyzer
 // protects a specific guarantee an earlier PR shipped; see the
-// "Enforced invariants" appendix in DESIGN.md for the mapping.
+// "Enforced invariants" appendix in DESIGN.md for the mapping. The last
+// three are flow-aware: they run over the intraprocedural CFG built by
+// BuildCFG rather than bare syntax.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoRawRand,
@@ -11,5 +13,8 @@ func All() []*Analyzer {
 		NoFloatEq,
 		NoPrint,
 		ErrDrop,
+		LockBalance,
+		GoLeak,
+		NoAlloc,
 	}
 }

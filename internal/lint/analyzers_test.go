@@ -20,6 +20,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{NoFloatEq, "nofloateq", "mnsim/lintfixture/nofloateq"},
 		{NoPrint, "noprint/internal/noprint", "mnsim/internal/lintfixture/noprint"},
 		{ErrDrop, "errdrop", "mnsim/lintfixture/errdrop"},
+		{LockBalance, "lockbalance", "mnsim/lintfixture/lockbalance"},
+		{GoLeak, "goleak", "mnsim/internal/lintfixture/goleak"},
+		{NoAlloc, "noalloc", "mnsim/lintfixture/noalloc"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.a.Name, func(t *testing.T) {
@@ -47,11 +50,12 @@ func TestNoPrintSkipsNonInternal(t *testing.T) {
 	}
 }
 
-// TestAllStableOrder guards the registry: six analyzers, stable order,
+// TestAllStableOrder guards the registry: nine analyzers, stable order,
 // unique names (suppressions address analyzers by name).
 func TestAllStableOrder(t *testing.T) {
 	all := All()
-	wantOrder := []string{"norawrand", "noclock", "ctxloop", "nofloateq", "noprint", "errdrop"}
+	wantOrder := []string{"norawrand", "noclock", "ctxloop", "nofloateq", "noprint", "errdrop",
+		"lockbalance", "goleak", "noalloc"}
 	if len(all) != len(wantOrder) {
 		t.Fatalf("All() = %d analyzers, want %d", len(all), len(wantOrder))
 	}

@@ -1,0 +1,472 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the flow-aware substrate under the concurrency analyzers:
+// a small intraprocedural control-flow-graph builder over go/ast plus a
+// merge-based forward dataflow driver. The six original analyzers are
+// AST-shaped — they match syntax wherever it appears — but "a mutex is
+// unlocked on every path out" and "this goroutine has a reachable stop
+// edge" are path properties, so they need blocks, edges, and fixpoints.
+// Like the rest of the framework the builder is stdlib-only; it models
+// exactly the statement forms this repository uses and stays honest about
+// what it skips (function literals are separate functions, goto is
+// resolved structurally, panic is an exit that still runs defers).
+
+// Block is one basic block: a run of atoms (statements and expressions
+// evaluated in order, no internal control flow between them) and the
+// edges out. Atoms may still contain *ast.FuncLit subtrees; transfer
+// functions must skip those — a literal is its own function and gets its
+// own CFG.
+type Block struct {
+	// Atoms are the nodes evaluated in this block, in execution order.
+	Atoms []ast.Node
+	// Succs are the control-flow successors.
+	Succs []*Block
+	// Index is the block's position in CFG.Blocks (stable, build order).
+	Index int
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit collects normal terminations (every return statement and
+// the fall-off-the-end path); PanicExit collects explicit panic calls.
+// Deferred calls run on both exit kinds, which is why they are separate:
+// a lock balance check wants "unlocked on every return" without damning
+// every guard panic inside a critical section.
+type CFG struct {
+	Entry     *Block
+	Exit      *Block
+	PanicExit *Block
+	Blocks    []*Block
+}
+
+// Reachable returns the set of blocks reachable from Entry. Dead blocks
+// (code after an unconditional return, unresolved goto targets) exist in
+// Blocks but carry no dataflow.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// ForwardDataflow runs a merge-based forward dataflow over g to fixpoint
+// and returns the state at entry to each reachable block. transfer folds
+// one block's atoms into a state (and must not mutate its input); merge
+// joins the states of converging edges; equal detects the fixpoint. The
+// lattice is assumed finite-height — the lock-set domains used here are —
+// so iteration terminates.
+func ForwardDataflow[S any](g *CFG, entry S, transfer func(S, *Block) S, merge func(a, b S) S, equal func(a, b S) bool) map[*Block]S {
+	reach := g.Reachable()
+	in := map[*Block]S{g.Entry: entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(in[b], b)
+		for _, s := range b.Succs {
+			if !reach[s] {
+				continue
+			}
+			next, have := in[s]
+			if have {
+				next = merge(next, out)
+			} else {
+				next = out
+			}
+			if !have || !equal(next, in[s]) {
+				in[s] = next
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{}
+	b.cfg = &CFG{}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.PanicExit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.labels = map[string]*labelFrame{}
+	b.stmtList(body.List)
+	// Falling off the end of the body is a normal exit.
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+// labelFrame tracks the targets a labeled break/continue/goto resolves to.
+type labelFrame struct {
+	breakTarget    *Block
+	continueTarget *Block // nil for labeled non-loops
+	gotoTarget     *Block // the label's own block, for goto
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// loop/switch/select frames, innermost last; label "" entries are the
+	// implicit targets of unlabeled break/continue.
+	frames []*labelFrame
+	// labels maps label names to their frames (labeled statements).
+	labels map[string]*labelFrame
+	// pendingLabel is the label attached to the statement being built, so
+	// the loop it labels registers break/continue targets under it.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) atom(n ast.Node) {
+	if n != nil {
+		b.cur.Atoms = append(b.cur.Atoms, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether stmt is a direct call of the builtin panic.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		b.atom(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Atoms = append(head.Atoms, s.Cond)
+			b.edge(head, exit)
+		}
+		b.edge(head, body)
+		b.pushFrame(&labelFrame{breakTarget: exit, continueTarget: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popFrame()
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			post.Atoms = append(post.Atoms, s.Post)
+		}
+		b.edge(post, head)
+		b.cur = exit
+	case *ast.RangeStmt:
+		// The head gets its own block: the body's back edge must re-enter
+		// the per-iteration operand evaluation only, never the statements
+		// preceding the loop. Only the range operand is the head atom (for
+		// channels it is a per-iteration receive); the body lives in its
+		// own blocks.
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.atom(&rangeAtom{s})
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.pushFrame(&labelFrame{breakTarget: exit, continueTarget: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popFrame()
+		b.edge(b.cur, head)
+		b.cur = exit
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		if s.Tag != nil {
+			b.atom(s.Tag)
+		}
+		b.switchClauses(s.Body.List, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		b.atom(s.Assign)
+		b.switchClauses(s.Body.List, nil)
+	case *ast.SelectStmt:
+		// A select with a default clause cannot block; without one every
+		// arm is a blocking channel operation, so the comm statement is
+		// kept as the arm's first atom for the lock analyses to see.
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		head := b.cur
+		join := b.newBlock()
+		b.pushFrame(&labelFrame{breakTarget: join})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			arm := b.newBlock()
+			b.edge(head, arm)
+			b.cur = arm
+			if cc.Comm != nil && !hasDefault {
+				b.atom(cc.Comm)
+			} else if cc.Comm != nil {
+				// Non-blocking form: keep side effects, drop the blocking
+				// marker by wrapping nothing — the comm still executes.
+				b.atom(&nonBlocking{cc.Comm})
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.popFrame()
+		b.cur = join
+	case *ast.ReturnStmt:
+		b.atom(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // anything after is dead
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		fr := &labelFrame{gotoTarget: lb, breakTarget: b.newBlock()}
+		b.labels[s.Label.Name] = fr
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+		// A labeled non-loop's break target joins back in. (For labeled
+		// loops the frame was rewired to the loop's own exit, which is
+		// already the current block.)
+		if b.cur != fr.breakTarget {
+			b.edge(b.cur, fr.breakTarget)
+			b.cur = fr.breakTarget
+		}
+	case *ast.ExprStmt:
+		if isPanicCall(s) {
+			b.atom(s)
+			b.edge(b.cur, b.cfg.PanicExit)
+			b.cur = b.newBlock()
+			return
+		}
+		b.atom(s)
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, Empty: straight-line atoms.
+		b.atom(s)
+	}
+}
+
+// nonBlocking wraps a select-with-default comm statement: its effects are
+// real but it cannot block. Implements ast.Node by delegation.
+type nonBlocking struct{ ast.Stmt }
+
+// rangeAtom marks the head of a range loop: transfer functions inspect
+// only the operand X (a per-iteration channel receive when X is a
+// channel), never the loop body, which has its own blocks.
+type rangeAtom struct{ *ast.RangeStmt }
+
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, _ *Block) {
+	head := b.cur
+	join := b.newBlock()
+	b.pushFrame(&labelFrame{breakTarget: join})
+	hasDefault := false
+	var bodies []*Block
+	for _, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		arm := b.newBlock()
+		b.edge(head, arm)
+		b.cur = arm
+		for _, e := range cc.List {
+			b.atom(e)
+		}
+		bodies = append(bodies, b.cur)
+		b.stmtList(cc.Body)
+		// fallthrough is handled below via an extra edge; the normal path
+		// joins.
+		b.edge(b.cur, join)
+		// Record where a fallthrough from the previous clause lands: the
+		// start of this clause's body. Conservatively add the edge for any
+		// clause containing a fallthrough terminator.
+		if i := len(bodies) - 2; i >= 0 {
+			prev := clauses[i].(*ast.CaseClause)
+			if n := len(prev.Body); n > 0 {
+				if br, ok := prev.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+					b.edge(bodies[i], arm)
+				}
+			}
+		}
+	}
+	b.popFrame()
+	if !hasDefault {
+		b.edge(head, join) // no case matched
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushFrame(f *labelFrame) {
+	b.frames = append(b.frames, f)
+	if b.pendingLabel != "" {
+		// The loop carries the label of its enclosing labeled statement:
+		// labeled break/continue resolve to this frame.
+		if lf, ok := b.labels[b.pendingLabel]; ok {
+			lf.breakTarget = f.breakTarget
+			lf.continueTarget = f.continueTarget
+		}
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if fr := b.labels[s.Label.Name]; fr != nil {
+				target = fr.breakTarget
+			}
+		} else {
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				if b.frames[i].breakTarget != nil {
+					target = b.frames[i].breakTarget
+					break
+				}
+			}
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if fr := b.labels[s.Label.Name]; fr != nil {
+				target = fr.continueTarget
+			}
+		} else {
+			for i := len(b.frames) - 1; i >= 0; i-- {
+				if b.frames[i].continueTarget != nil {
+					target = b.frames[i].continueTarget
+					break
+				}
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			if fr := b.labels[s.Label.Name]; fr != nil {
+				target = fr.gotoTarget
+			}
+		}
+		// A forward goto (label not yet built) is left unresolved: the
+		// current block simply ends. This repository has no gotos; the
+		// builder degrades to over-approximating reachability of the code
+		// after the goto rather than crashing.
+	case token.FALLTHROUGH:
+		// Handled structurally by switchClauses.
+		return
+	}
+	if target != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = b.newBlock() // code after an unconditional branch is dead
+}
+
+// funcBodies yields every function-shaped body in the file — declarations
+// and function literals — with a display name for diagnostics. Literals
+// are their own functions: their CFGs, lock sets, and termination edges
+// are independent of the enclosing body's.
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, funcBody{name: fd.Name.Name, body: fd.Body, decl: fd})
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcBody{name: name + " (func literal)", body: lit.Body, lit: lit})
+				// Keep descending: literals nest.
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+}

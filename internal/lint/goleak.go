@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak turns PR 9's "zero leaked goroutines" property into a static
+// rule for the service arc: every `go` launch under internal/ and cmd/
+// must carry a *visible termination edge* — something in the goroutine's
+// reachable code that a reader (and this analyzer) can point to and say
+// "this is how it stops". Accepted edges:
+//
+//   - a ctx.Done() / ctx.Err() observation (select arm, receive, or loop
+//     check) on a context.Context value;
+//   - a receive from / range over a channel that this package close()s
+//     (the worker-pool "range until the feeder closes" shape), or that is
+//     a field of a package-declared struct with a Stop/Close/Shutdown
+//     method (the sampler's stop-channel shape) — stdlib-owned channels
+//     like time.Ticker.C do not count, because Ticker.Stop famously does
+//     not unblock a pending receive;
+//   - a WaitGroup join: the body calls wg.Done() on a WaitGroup some
+//     code in this package Wait()s on;
+//   - a blocking call on a value whose Stop/Close/Shutdown method is
+//     invoked elsewhere in the package (the http.Server Serve/Shutdown
+//     pair).
+//
+// Evidence only counts in code reachable from the goroutine's entry (the
+// CFG substrate provides reachability), so a stop check sitting after an
+// unconditional return convinces nobody. Launches whose body cannot be
+// resolved (interface method, other-package function) are flagged too:
+// an invisible lifecycle is the finding.
+var GoLeak = &Analyzer{
+	Name:       "goleak",
+	Doc:        "every goroutine launched under internal/ or cmd/ needs a visible termination edge: ctx.Done, a closed/stoppable channel, a WaitGroup join, or a Stop/Close-managed blocking call",
+	TestExempt: true,
+	Run:        runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	if !inInternal(p.Path) && !underPathSubtree(p.Path, "cmd") {
+		return
+	}
+	ev := collectPackageEvidence(p)
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, g, decls, ev)
+			return true
+		})
+	}
+}
+
+// packageEvidence is what the rest of the package contributes to a
+// goroutine's termination story.
+type packageEvidence struct {
+	closedKeys  map[string]bool // leaf objects passed to close()
+	waitedWGs   map[string]bool // leaf objects of WaitGroup .Wait() calls
+	stoppedKeys map[string]bool // leaf objects with .Stop/.Close/.Shutdown calls
+}
+
+func collectPackageEvidence(p *Pass) packageEvidence {
+	ev := packageEvidence{
+		closedKeys:  map[string]bool{},
+		waitedWGs:   map[string]bool{},
+		stoppedKeys: map[string]bool{},
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if k, ok := leafKey(p.Info, call.Args[0]); ok {
+						ev.closedKeys[k] = true
+					}
+				}
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait":
+				if isWaitGroupMethod(p.Info, sel) {
+					if k, ok := leafKey(p.Info, sel.X); ok {
+						ev.waitedWGs[k] = true
+					}
+				}
+			case "Stop", "Close", "Shutdown":
+				if k, ok := leafKey(p.Info, sel.X); ok {
+					ev.stoppedKeys[k] = true
+				}
+			}
+			return true
+		})
+	}
+	return ev
+}
+
+// leafKey identifies the final object of an ident/selector chain: the
+// variable itself, or the field at the end of the chain. Two mentions of
+// the same declared object produce the same key.
+func leafKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return obj.Name() + "@" + posKey(obj.Pos()), true
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return obj.Name() + "@" + posKey(obj.Pos()), true
+		}
+	}
+	return "", false
+}
+
+func isWaitGroupMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+func checkGoStmt(p *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl, ev packageEvidence) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn, ok := calleeObj(p.Info, g.Call).(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		// The body lives behind an interface or in another package; the
+		// launch itself must still show an edge: a Stop/Close/Shutdown
+		// counterpart for the called value.
+		if hasTerminationEdge(p, g.Call, ev) {
+			return
+		}
+		p.Reportf(g.Pos(),
+			"goroutine body is not visible from this package and no Stop/Close/Shutdown counterpart is called on its target: wrap the launch so its termination edge is auditable")
+		return
+	}
+	// Evidence only counts where control can actually reach.
+	cfg := BuildCFG(body)
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, atom := range b.Atoms {
+			if hasTerminationEdge(p, atomNode(atom), ev) {
+				return
+			}
+		}
+	}
+	p.Reportf(g.Pos(),
+		"goroutine has no visible termination edge: add a ctx.Done()/ctx.Err() check, a receive on a channel this package closes or a Stop/Close method owns, or a WaitGroup join (Done here, Wait elsewhere)")
+}
+
+// atomNode unwraps the builder's marker atoms back to inspectable nodes.
+// A range head unwraps to the whole range statement so the channel-range
+// evidence case can see it; its body blocks are reachable exactly when
+// the head is, so the redundant descent loses no precision.
+func atomNode(atom ast.Node) ast.Node {
+	switch a := atom.(type) {
+	case *rangeAtom:
+		return a.RangeStmt
+	case *nonBlocking:
+		return a.Stmt
+	}
+	return atom
+}
+
+// hasTerminationEdge reports whether the subtree contains any accepted
+// stop evidence.
+func hasTerminationEdge(p *Pass, n ast.Node, ev packageEvidence) bool {
+	if checksCtxDirect(p.Info, n) {
+		return true
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && stoppableChannel(p, n.X, ev) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if stoppableChannel(p, n.X, ev) {
+				found = true
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// WaitGroup join: Done here, Wait somewhere in the package.
+			if sel.Sel.Name == "Done" && isWaitGroupMethod(p.Info, sel) {
+				if k, ok := leafKey(p.Info, sel.X); ok && ev.waitedWGs[k] {
+					found = true
+					return false
+				}
+			}
+			// Stop/Close-managed blocking call: the called value has a
+			// Stop/Close/Shutdown invocation elsewhere in the package.
+			if k, ok := leafKey(p.Info, sel.X); ok && ev.stoppedKeys[k] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stoppableChannel reports whether a received-from channel expression has
+// a visible producer-side stop: the package closes it, or it is a field
+// of a package-declared struct that exposes Stop/Close/Shutdown.
+func stoppableChannel(p *Pass, e ast.Expr, ev packageEvidence) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if k, ok := leafKey(p.Info, e); ok && ev.closedKeys[k] {
+		return true
+	}
+	// Field of a struct declared in this package with a stop-shaped method.
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	xt, ok := p.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	rt := xt.Type
+	if ptr, ok := rt.Underlying().(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() != p.Pkg {
+		return false
+	}
+	for _, name := range [...]string{"Stop", "Close", "Shutdown"} {
+		if obj, _, _ := types.LookupFieldOrMethod(named, true, p.Pkg, name); obj != nil {
+			if _, isFn := obj.(*types.Func); isFn {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -14,15 +14,35 @@ type jsonDiagnostic struct {
 	Message  string `json:"message"`
 }
 
+// jsonAnalyzerStat is the wire form of one analyzer's accounting.
+type jsonAnalyzerStat struct {
+	Name     string  `json:"name"`
+	Findings int     `json:"findings"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
 // WriteJSON writes the diagnostics as one JSON document:
-// {"count": N, "diagnostics": [{file, line, col, analyzer, message}, ...]}.
+//
+//	{"count": N,
+//	 "diagnostics": [{file, line, col, analyzer, message}, ...],
+//	 "analyzers":   [{name, findings, wall_ms}, ...]}
+//
 // The document is emitted even when there are zero findings so CI can
-// always upload it as an artifact.
+// always upload it as an artifact and diff per-analyzer counts between
+// runs.
 func (r *Result) WriteJSON(w io.Writer) error {
 	out := struct {
-		Count       int              `json:"count"`
-		Diagnostics []jsonDiagnostic `json:"diagnostics"`
-	}{Diagnostics: []jsonDiagnostic{}}
+		Count       int                `json:"count"`
+		Diagnostics []jsonDiagnostic   `json:"diagnostics"`
+		Analyzers   []jsonAnalyzerStat `json:"analyzers"`
+	}{Diagnostics: []jsonDiagnostic{}, Analyzers: []jsonAnalyzerStat{}}
+	for _, s := range r.Stats {
+		out.Analyzers = append(out.Analyzers, jsonAnalyzerStat{
+			Name:     s.Name,
+			Findings: s.Findings,
+			WallMS:   float64(s.Wall.Microseconds()) / 1000.0,
+		})
+	}
 	for _, d := range r.Diagnostics {
 		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
 			File:     d.Pos.Filename,

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned and attributed to an analyzer.
@@ -60,6 +61,9 @@ type Pass struct {
 	// Path is the package's import path (fixtures may use fake paths to
 	// exercise path-scoped analyzers such as noclock).
 	Path string
+	// Dir is the package's source directory on disk, for analyzers (such
+	// as noalloc) that shell out to the go tool for the same package.
+	Dir string
 
 	analyzer *Analyzer
 	sink     *[]Diagnostic
@@ -92,10 +96,24 @@ type Options struct {
 	Analyzers []*Analyzer
 }
 
+// AnalyzerStat is one analyzer's per-run accounting: how many of the
+// surviving diagnostics it produced and how much wall time its Run
+// consumed across all packages.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	Wall     time.Duration
+}
+
 // Result is the outcome of a lint run.
 type Result struct {
-	// Diagnostics are the surviving findings, sorted by position.
+	// Diagnostics are the surviving findings, sorted by position and
+	// deduplicated: two findings identical in (position, analyzer,
+	// message) — e.g. the same locked-here site reported once per escaping
+	// path — collapse to one.
 	Diagnostics []Diagnostic
+	// Stats has one entry per analyzer that ran, in All() order.
+	Stats []AnalyzerStat
 }
 
 // Run loads every package matched by opt.Patterns, runs the analyzers,
@@ -128,6 +146,7 @@ func Run(opt Options) (*Result, error) {
 	ld := NewLoader()
 	var diags []Diagnostic
 	var ignores []*ignoreDirective
+	wall := map[string]time.Duration{}
 	for _, d := range dirs {
 		u, err := ld.Load(d, mod.importPath(d), opt.Tests)
 		if err != nil {
@@ -136,7 +155,7 @@ func Run(opt Options) (*Result, error) {
 		if u == nil { // no Go files under the current test/non-test filter
 			continue
 		}
-		diags = append(diags, runAnalyzers(u, analyzers)...)
+		diags = append(diags, runAnalyzersTimed(u, analyzers, wall)...)
 		ignores = append(ignores, u.ignores...)
 	}
 
@@ -154,10 +173,50 @@ func Run(opt Options) (*Result, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return &Result{Diagnostics: diags}, nil
+	diags = dedupDiagnostics(diags)
+
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	stats := make([]AnalyzerStat, 0, len(analyzers))
+	for _, a := range analyzers {
+		stats = append(stats, AnalyzerStat{Name: a.Name, Findings: counts[a.Name], Wall: wall[a.Name]})
+	}
+	// Suppression meta-findings (stale //lint:ignore under -strict) have no
+	// analyzer of their own; account for them so the summary totals match
+	// the diagnostic list.
+	if counts[metaAnalyzer] > 0 {
+		stats = append(stats, AnalyzerStat{Name: metaAnalyzer, Findings: counts[metaAnalyzer]})
+	}
+	return &Result{Diagnostics: diags, Stats: stats}, nil
+}
+
+// dedupDiagnostics collapses findings identical in (position, analyzer,
+// message). The input must already be sorted; equal findings are
+// adjacent except for same-position different-message pairs, so a set is
+// still needed.
+func dedupDiagnostics(diags []Diagnostic) []Diagnostic {
+	if len(diags) < 2 {
+		return diags
+	}
+	seen := make(map[Diagnostic]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
 }
 
 func runAnalyzers(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	return runAnalyzersTimed(u, analyzers, nil)
+}
+
+func runAnalyzersTimed(u *Unit, analyzers []*Analyzer, wall map[string]time.Duration) []Diagnostic {
 	var out []Diagnostic
 	for _, a := range analyzers {
 		var raw []Diagnostic
@@ -167,10 +226,15 @@ func runAnalyzers(u *Unit, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      u.Pkg,
 			Info:     u.Info,
 			Path:     u.Path,
+			Dir:      u.Dir,
 			analyzer: a,
 			sink:     &raw,
 		}
+		start := time.Now()
 		a.Run(pass)
+		if wall != nil {
+			wall[a.Name] += time.Since(start)
+		}
 		for _, d := range raw {
 			if a.TestExempt && strings.HasSuffix(d.Pos.Filename, "_test.go") {
 				continue
@@ -187,6 +251,20 @@ func (r *Result) WriteText(w io.Writer) {
 	for _, d := range r.Diagnostics {
 		fmt.Fprintln(w, d.String())
 	}
+}
+
+// WriteSummary prints the per-analyzer accounting table: one line per
+// analyzer with its surviving finding count and wall time, then a total.
+func (r *Result) WriteSummary(w io.Writer) {
+	var total int
+	var wall time.Duration
+	for _, s := range r.Stats {
+		fmt.Fprintf(w, "  %-12s %3d finding(s)  %8.2fms\n",
+			s.Name, s.Findings, float64(s.Wall.Microseconds())/1000.0)
+		total += s.Findings
+		wall += s.Wall
+	}
+	fmt.Fprintf(w, "  %-12s %3d finding(s)  %8.2fms\n", "total", total, float64(wall.Microseconds())/1000.0)
 }
 
 // --- module + pattern resolution -----------------------------------------

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockBalance enforces the locking discipline the long-running service
+// arc depends on, as a path property rather than a convention. Three
+// rules, all per function (and per function literal), all flow-aware over
+// the CFG substrate:
+//
+//  1. Balance: a sync.Mutex / sync.RWMutex Lock (or RLock) must be
+//     released on every normal path out of the function — by a matching
+//     Unlock on each path or by a deferred Unlock registered on all of
+//     them. Paths that end in panic are exempt: guard panics inside a
+//     critical section are deliberate crashes, not leaks.
+//  2. No blocking under a lock: a held lock must not span a channel
+//     send/receive, a select without default, a range over a channel,
+//     sync.WaitGroup.Wait / sync.Cond.Wait, or time.Sleep — blocking
+//     while holding a lock stalls every contender and is the classic
+//     shape of a worker-pool deadlock.
+//  3. No double Lock: taking a lock that may already be held on the same
+//     path self-deadlocks (sync mutexes are not reentrant). Repeated
+//     RLock is allowed; Lock-after-RLock and Lock-after-Lock are not.
+//
+// Lock identity is the resolved selector chain ("j.mu", "s.statsMu"), so
+// two different receivers' fields never alias, and the same field reached
+// through the same chain always does. Lock handoff across function
+// boundaries (returning while locked on purpose) is a design decision the
+// analyzer cannot see; carry a reasoned //lint:ignore.
+var LockBalance = &Analyzer{
+	Name:       "lockbalance",
+	Doc:        "every mutex Lock must be released on all paths out (defer-aware), never held across a blocking op, and never re-taken while held",
+	TestExempt: true,
+	Run:        runLockBalance,
+}
+
+// lockHeld describes one lock acquisition live on some path. deferred
+// rides with the acquisition, not the path: a lock is safe at exit only
+// if every path on which it is held registered a deferred release.
+type lockHeld struct {
+	pos      token.Pos // the Lock/RLock call
+	name     string    // display form, e.g. "j.mu"
+	deferred bool      // a defer on this path will release it
+}
+
+// lockFacts is the dataflow state: which (chain, mode) locks may be held,
+// plus the deferred releases registered so far on this path (so a defer
+// that precedes its Lock in program order still covers it).
+type lockFacts struct {
+	held     map[string]lockHeld // key "chain|mode" -> acquisition
+	deferred map[string]bool     // key "chain|mode" -> a defer will release it
+}
+
+func (s lockFacts) clone() lockFacts {
+	n := lockFacts{held: map[string]lockHeld{}, deferred: map[string]bool{}}
+	for k, v := range s.held {
+		n.held[k] = v
+	}
+	for k := range s.deferred {
+		n.deferred[k] = true
+	}
+	return n
+}
+
+// mergeLockFacts joins two path states: held is a may-union (a lock held
+// on either incoming path is a liability). A lock held on both sides is
+// released at exit only if both sides registered the deferred release
+// (AND); a lock held on one side keeps that side's deferred bit — a
+// clean other path is irrelevant to its fate. The path-level deferred
+// set is a must-intersection, since it covers locks not yet acquired.
+func mergeLockFacts(a, b lockFacts) lockFacts {
+	n := a.clone()
+	for k, v := range b.held {
+		if prev, ok := n.held[k]; ok {
+			merged := prev
+			if v.pos < merged.pos {
+				merged.pos, merged.name = v.pos, v.name
+			}
+			merged.deferred = prev.deferred && v.deferred
+			n.held[k] = merged
+		} else {
+			n.held[k] = v
+		}
+	}
+	for k := range n.deferred {
+		if !b.deferred[k] {
+			delete(n.deferred, k)
+		}
+	}
+	return n
+}
+
+func equalLockFacts(a, b lockFacts) bool {
+	if len(a.held) != len(b.held) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k, v := range a.held {
+		w, ok := b.held[k]
+		if !ok || v.deferred != w.deferred || v.pos != w.pos {
+			return false
+		}
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockOp classifies one sync mutex method call.
+type lockOp struct {
+	key     string // chain key of the mutex expression
+	name    string // display form
+	mode    string // "W" (Lock/Unlock) or "R" (RLock/RUnlock)
+	acquire bool
+	pos     token.Pos
+}
+
+// classifyLockOp recognizes calls to the four sync.Mutex / sync.RWMutex
+// lock methods, including through embedding, and resolves the receiver
+// chain to a stable key. TryLock is deliberately not modeled: its
+// conditional acquisition defeats path reasoning, and the repo does not
+// use it.
+func classifyLockOp(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var mode string
+	var acquire bool
+	switch fn.Name() {
+	case "Lock":
+		mode, acquire = "W", true
+	case "Unlock":
+		mode, acquire = "W", false
+	case "RLock":
+		mode, acquire = "R", true
+	case "RUnlock":
+		mode, acquire = "R", false
+	default:
+		return lockOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return lockOp{}, false
+	}
+	key, ok := chainKey(info, sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{key: key, name: types.ExprString(sel.X), mode: mode, acquire: acquire, pos: call.Pos()}, true
+}
+
+// chainKey resolves an ident/selector chain to a stable identity built
+// from the declaration positions of the objects along it. Chains through
+// calls, indexing, or unresolved names have no stable identity.
+func chainKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return obj.Name() + "@" + posKey(obj.Pos()), true
+	case *ast.SelectorExpr:
+		base, ok := chainKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		obj := info.Uses[e.Sel]
+		if obj == nil {
+			return "", false
+		}
+		return base + "." + obj.Name() + "@" + posKey(obj.Pos()), true
+	}
+	return "", false
+}
+
+func posKey(p token.Pos) string {
+	// token.Pos is a file-set offset: unique per declared object within
+	// one loader, which is the scope a key needs.
+	return itoa(int(p))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func runLockBalance(p *Pass) {
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			checkLockBalance(p, fb)
+		}
+	}
+}
+
+func checkLockBalance(p *Pass, fb funcBody) {
+	// Fast pre-filter: no sync lock calls, nothing to do.
+	uses := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if uses {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isOp := classifyLockOp(p.Info, call); isOp {
+				uses = true
+			}
+		}
+		return true
+	})
+	if !uses {
+		return
+	}
+
+	g := BuildCFG(fb.body)
+	entry := lockFacts{held: map[string]lockHeld{}, deferred: map[string]bool{}}
+	transfer := func(s lockFacts, b *Block) lockFacts {
+		out := s.clone()
+		for _, atom := range b.Atoms {
+			applyLockAtom(p, atom, &out, nil)
+		}
+		return out
+	}
+	in := ForwardDataflow(g, entry, transfer, mergeLockFacts, equalLockFacts)
+
+	// Report pass: replay each reachable block from its fixpoint in-state,
+	// flagging blocking ops and double locks where they happen.
+	reported := map[string]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		k := posKey(pos) + format
+		if !reported[k] {
+			reported[k] = true
+			p.Reportf(pos, format, args...)
+		}
+	}
+	for b, s := range in {
+		st := s.clone()
+		for _, atom := range b.Atoms {
+			applyLockAtom(p, atom, &st, func(kind string, pos token.Pos, op lockOp, prev lockHeld) {
+				switch kind {
+				case "double":
+					report(pos, "%s.%s: %s may already be held (locked at line %d) — sync mutexes are not reentrant, this path self-deadlocks",
+						op.name, modeVerb(op.mode), op.name, p.Fset.Position(prev.pos).Line)
+				case "blocking":
+					report(pos, "%s is held across this blocking operation (locked at line %d): release the lock before channel sends/receives, selects, Wait, or Sleep",
+						prev.name, p.Fset.Position(prev.pos).Line)
+				}
+			})
+		}
+	}
+	// Exit check: every lock still held at the normal exit without a
+	// guaranteed deferred release is a leak on at least one return path.
+	if exitState, ok := in[g.Exit]; ok {
+		for _, hl := range exitState.held {
+			if hl.deferred {
+				continue
+			}
+			report(hl.pos, "%s is locked here but not released on every path out of %s: unlock on all returns or use defer %s.Unlock()",
+				hl.name, fb.name, hl.name)
+		}
+	}
+}
+
+func modeVerb(mode string) string {
+	if mode == "R" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// applyLockAtom folds one atom into the lock state. When onEvent is
+// non-nil it is invoked for double-lock and blocking-under-lock events
+// (the report pass); the fixpoint pass passes nil.
+func applyLockAtom(p *Pass, atom ast.Node, st *lockFacts, onEvent func(kind string, pos token.Pos, op lockOp, prev lockHeld)) {
+	blocking := func(pos token.Pos) {
+		if onEvent == nil || len(st.held) == 0 {
+			return
+		}
+		// One report per site, naming the earliest-acquired holder so the
+		// message is deterministic when several locks are live.
+		var first lockHeld
+		for _, hl := range st.held {
+			if first.pos == 0 || hl.pos < first.pos {
+				first = hl
+			}
+		}
+		onEvent("blocking", pos, lockOp{}, first)
+	}
+	switch a := atom.(type) {
+	case *ast.DeferStmt:
+		registerDeferredUnlocks(p, a, st)
+		return
+	case *rangeAtom:
+		if tv, ok := p.Info.Types[a.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				blocking(a.X.Pos())
+			}
+		}
+		inspectLockOps(p, a.X, st, onEvent, blocking)
+		return
+	case *nonBlocking:
+		// Select-with-default comm: real effects, cannot block.
+		inspectLockOps(p, a.Stmt, st, onEvent, nil)
+		return
+	}
+	inspectLockOps(p, atom, st, onEvent, blocking)
+}
+
+// inspectLockOps walks one atom (skipping function literals — they are
+// separate functions) applying lock transitions and blocking detection.
+func inspectLockOps(p *Pass, n ast.Node, st *lockFacts, onEvent func(string, token.Pos, lockOp, lockHeld), blocking func(token.Pos)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			registerDeferredUnlocks(p, n, st)
+			return false
+		case *ast.SendStmt:
+			if blocking != nil {
+				blocking(n.Arrow)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && blocking != nil {
+				blocking(n.OpPos)
+			}
+			return true
+		case *ast.CallExpr:
+			if op, ok := classifyLockOp(p.Info, n); ok {
+				applyLockOp(op, st, onEvent)
+				return true
+			}
+			if isBlockingCall(p.Info, n) && blocking != nil {
+				blocking(n.Pos())
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func applyLockOp(op lockOp, st *lockFacts, onEvent func(string, token.Pos, lockOp, lockHeld)) {
+	key := op.key + "|" + op.mode
+	if op.acquire {
+		// Lock while the write lock is held, or write-Lock while the read
+		// lock is held, deadlocks; repeated RLock is legal.
+		if prev, ok := st.held[op.key+"|W"]; ok {
+			if onEvent != nil {
+				onEvent("double", op.pos, op, prev)
+			}
+		} else if prev, ok := st.held[op.key+"|R"]; ok && op.mode == "W" {
+			if onEvent != nil {
+				onEvent("double", op.pos, op, prev)
+			}
+		}
+		if _, ok := st.held[key]; !ok {
+			st.held[key] = lockHeld{pos: op.pos, name: op.name, deferred: st.deferred[key]}
+		}
+		return
+	}
+	delete(st.held, key)
+	delete(st.deferred, key)
+}
+
+// registerDeferredUnlocks records the unlocks a defer statement guarantees
+// at function exit: `defer mu.Unlock()` directly, or any unlock calls
+// inside `defer func() { ... }()`.
+func registerDeferredUnlocks(p *Pass, d *ast.DeferStmt, st *lockFacts) {
+	record := func(key string) {
+		st.deferred[key] = true
+		if hl, ok := st.held[key]; ok {
+			hl.deferred = true
+			st.held[key] = hl
+		}
+	}
+	if op, ok := classifyLockOp(p.Info, d.Call); ok && !op.acquire {
+		record(op.key + "|" + op.mode)
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := classifyLockOp(p.Info, call); ok && !op.acquire {
+					record(op.key + "|" + op.mode)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBlockingCall recognizes the known blocking calls rule 2 covers:
+// sync.WaitGroup.Wait, sync.Cond.Wait, and time.Sleep.
+func isBlockingCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return false
+	}
+	if isPkgFunc(obj, "time", "Sleep") {
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Wait" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

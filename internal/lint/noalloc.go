@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// NoAlloc guards the hand-tuned hot paths. PR 9 drove the warm solve to
+// ~0 allocs/op and the CI bench gate pins allocs/op exactly — but the
+// gate only names the benchmark, not the culprit, and only fires for
+// paths a benchmark covers. NoAlloc turns the property into a static
+// rule with named culprits: a function annotated
+//
+//	//lint:hotpath
+//
+// in its doc comment must contain no heap-escaping construct. The
+// analyzer drives the real escape analysis — `go build -gcflags=-m` on
+// the package — and maps every "escapes to heap" / "moved to heap"
+// diagnostic that lands inside an annotated function body back to a lint
+// finding at the compiler-reported position. Cold-path allocations that
+// are deliberate (a grow-on-first-use buffer, a panic guard formatting
+// its message) carry a reasoned //lint:ignore on the offending line, so
+// the hot loop stays provably clean while the guards stay readable.
+//
+// Constant-string escapes (`"..." escapes to heap`) are filtered: they
+// are panic/format arguments boxed only on the crash path, and inlining
+// attributes callees' panic-guard strings to the hot call site.
+//
+// The probe builds only packages that contain at least one annotation;
+// an unannotated package costs nothing. Escape diagnostics are replayed
+// from the build cache on unchanged packages, so repeated lint runs stay
+// fast.
+var NoAlloc = &Analyzer{
+	Name:       "noalloc",
+	Doc:        "functions annotated //lint:hotpath must contain no heap-escaping constructs (checked against go build -gcflags=-m)",
+	TestExempt: true,
+	Run:        runNoAlloc,
+}
+
+// hotpathDirective is the annotation marking a function as an
+// allocation-free hot path.
+const hotpathDirective = "//lint:hotpath"
+
+// hotpathFuncs returns the declared functions annotated //lint:hotpath in
+// their doc comment, keyed for range lookups.
+func hotpathFuncs(p *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, hotpathDirective) {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runNoAlloc(p *Pass) {
+	hot := hotpathFuncs(p)
+	if len(hot) == 0 {
+		return
+	}
+	diags, err := escapeProbe(p.Dir)
+	if err != nil {
+		// A failed probe must be loud, not silently green: report at each
+		// annotated function so the strict gate fails until the build does
+		// not.
+		for _, fd := range hot {
+			p.Reportf(fd.Pos(), "//lint:hotpath escape probe failed: %v", err)
+		}
+		return
+	}
+	// Function body line ranges per absolute file path.
+	type bodyRange struct {
+		fd         *ast.FuncDecl
+		start, end int
+	}
+	ranges := map[string][]bodyRange{}
+	files := map[string]*token.File{}
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		abs, err := filepath.Abs(tf.Name())
+		if err != nil {
+			continue
+		}
+		files[abs] = tf
+	}
+	for _, fd := range hot {
+		pos := p.Fset.Position(fd.Body.Pos())
+		end := p.Fset.Position(fd.Body.End())
+		abs, err := filepath.Abs(pos.Filename)
+		if err != nil {
+			continue
+		}
+		ranges[abs] = append(ranges[abs], bodyRange{fd: fd, start: pos.Line, end: end.Line})
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		tf, ok := files[d.file]
+		if !ok {
+			continue
+		}
+		for _, br := range ranges[d.file] {
+			if d.line < br.start || d.line > br.end {
+				continue
+			}
+			key := d.file + ":" + strconv.Itoa(d.line) + ":" + strconv.Itoa(d.col) + ":" + d.msg
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			p.Reportf(lineColPos(tf, d.line, d.col),
+				"heap escape in //lint:hotpath function %s: %s", br.fd.Name.Name, d.msg)
+		}
+	}
+}
+
+// escapeDiag is one compiler escape diagnostic, resolved to an absolute
+// file path.
+type escapeDiag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// escapeProbe compiles the package rooted at dir with -gcflags=-m and
+// returns the heap-escape diagnostics. The build runs from the module
+// root so path resolution matches the go tool's; -o discards any binary
+// a main package would produce.
+func escapeProbe(dir string) ([]escapeDiag, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m", "-o", os.DevNull, abs)
+	cmd.Dir = mod.root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		first := strings.TrimSpace(string(out))
+		if i := strings.IndexByte(first, '\n'); i >= 0 {
+			// Keep the output compact: the first couple of lines carry the
+			// compile error.
+			lines := strings.SplitN(first, "\n", 4)
+			if len(lines) > 3 {
+				lines = lines[:3]
+			}
+			first = strings.Join(lines, "; ")
+		}
+		return nil, &probeError{msg: "go build -gcflags=-m: " + err.Error() + ": " + first}
+	}
+	var diags []escapeDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		file, ln, col, msg, ok := parseEscapeLine(line)
+		if !ok || isConstStringEscape(msg) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(mod.root, file)
+		}
+		diags = append(diags, escapeDiag{file: file, line: ln, col: col, msg: msg})
+	}
+	return diags, nil
+}
+
+// isConstStringEscape matches diagnostics like
+//
+//	"linalg: Dot length mismatch" escapes to heap
+//
+// — a constant string boxed for a panic or format call. The box is only
+// materialized on the crash/format path, never in the steady-state loop,
+// and inlined callees attribute their panic-guard strings to the hot
+// call site; flagging them would demand a suppression on every guard.
+func isConstStringEscape(msg string) bool {
+	return strings.HasPrefix(msg, `"`) && strings.HasSuffix(msg, `" escapes to heap`)
+}
+
+type probeError struct{ msg string }
+
+func (e *probeError) Error() string { return e.msg }
+
+// parseEscapeLine matches "path:line:col: ... escapes to heap" and
+// "path:line:col: moved to heap: x" compiler output lines.
+func parseEscapeLine(line string) (file string, ln, col int, msg string, ok bool) {
+	line = strings.TrimSpace(line)
+	if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+		return "", 0, 0, "", false
+	}
+	// path:line:col: msg — split off the three position fields from the
+	// left; the path itself may not contain ":" on the platforms CI runs.
+	rest := line
+	i := strings.IndexByte(rest, ':')
+	if i <= 0 {
+		return "", 0, 0, "", false
+	}
+	file = rest[:i]
+	rest = rest[i+1:]
+	i = strings.IndexByte(rest, ':')
+	if i <= 0 {
+		return "", 0, 0, "", false
+	}
+	lnv, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	rest = rest[i+1:]
+	i = strings.IndexByte(rest, ':')
+	if i <= 0 {
+		return "", 0, 0, "", false
+	}
+	colv, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	return file, lnv, colv, strings.TrimSpace(rest[i+1:]), true
+}
+
+// lineColPos converts a (line, col) pair from compiler output into a
+// token.Pos inside tf, clamping columns that fall past the line end.
+func lineColPos(tf *token.File, line, col int) token.Pos {
+	if line < 1 || line > tf.LineCount() {
+		return tf.Pos(0)
+	}
+	pos := tf.LineStart(line) + token.Pos(col-1)
+	if pos < tf.LineStart(line) || int(pos-tf.Pos(0)) >= tf.Size() {
+		return tf.LineStart(line)
+	}
+	// A column past the end of the line would spill onto the next one;
+	// fall back to the line start.
+	if tfPosLine(tf, pos) != line {
+		return tf.LineStart(line)
+	}
+	return pos
+}
+
+func tfPosLine(tf *token.File, pos token.Pos) int {
+	return tf.Line(pos)
+}

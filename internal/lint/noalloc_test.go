@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratchModule copies the clean //lint:hotpath fixture into a throwaway
+// module so the test can mutate it without touching the repository.
+func scratchModule(t *testing.T) (dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "noalloc", "clean", "clean.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module noallocscratch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runNoAllocOn(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	u, err := NewLoader().Load(dir, "noallocscratch", false)
+	if err != nil {
+		t.Fatalf("loading scratch module: %v", err)
+	}
+	return runAnalyzers(u, []*Analyzer{NoAlloc})
+}
+
+// TestNoAllocDetectsIntroducedEscape is the acceptance check for the
+// analyzer's whole premise: the clean fixture passes, and the moment a
+// deliberate heap escape is introduced into a //lint:hotpath function,
+// the analyzer fails.
+func TestNoAllocDetectsIntroducedEscape(t *testing.T) {
+	dir := scratchModule(t)
+	if diags := runNoAllocOn(t, dir); len(diags) != 0 {
+		t.Fatalf("clean hotpath fixture produced findings:\n%v", diags)
+	}
+
+	// Introduce the escape: Dot grows a result buffer it returns a pointer
+	// into, the classic quietly-regrown allocation.
+	dirty := `// Package clean (mutated): Dot now allocates per call.
+package clean
+
+var sink []float64
+
+// Dot is still annotated, but now escapes.
+//
+//lint:hotpath
+func Dot(a, b []float64) float64 {
+	buf := make([]float64, len(a))
+	for i := range a {
+		buf[i] = a[i] * b[i]
+	}
+	sink = buf
+	return buf[0]
+}
+
+// Scale mutates in place, allocation-free.
+//
+//lint:hotpath
+func Scale(v []float64, k float64) {
+	for i := range v {
+		v[i] *= k
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runNoAllocOn(t, dir)
+	if len(diags) == 0 {
+		t.Fatal("introduced heap escape in a //lint:hotpath function, but noalloc reported nothing")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "heap escape in //lint:hotpath function Dot") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestNoAllocProbeFailureIsLoud pins the failure mode: when the escape
+// probe cannot run, every annotated function gets a probe-failure
+// finding instead of a silent pass.
+func TestNoAllocProbeFailureIsLoud(t *testing.T) {
+	dir := scratchModule(t)
+	u, err := NewLoader().Load(dir, "noallocscratch", false)
+	if err != nil {
+		t.Fatalf("loading scratch module: %v", err)
+	}
+	// Corrupt the module file after loading: the analyzer's go-build probe
+	// now has no resolvable module and must fail loudly.
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("// not a module file\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAnalyzers(u, []*Analyzer{NoAlloc})
+	if len(diags) == 0 {
+		t.Fatal("unbuildable module produced no probe-failure findings")
+	}
+	if len(diags) != 2 { // one per annotated function (Dot, Scale)
+		t.Errorf("got %d findings, want 2:\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "escape probe failed") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestParseEscapeLine pins the compiler-output parser against the two
+// diagnostic shapes it must recognize and the noise it must drop.
+func TestParseEscapeLine(t *testing.T) {
+	cases := []struct {
+		in     string
+		ok     bool
+		file   string
+		line   int
+		col    int
+		msgSub string
+	}{
+		{"internal/linalg/sparse.go:261:31: n escapes to heap", true, "internal/linalg/sparse.go", 261, 31, "escapes to heap"},
+		{"pkg/a.go:10:2: moved to heap: x", true, "pkg/a.go", 10, 2, "moved to heap: x"},
+		{"pkg/a.go:10:2: inlining call to foo", false, "", 0, 0, ""},
+		{"# mnsim/internal/linalg", false, "", 0, 0, ""},
+		{"", false, "", 0, 0, ""},
+		{"escapes to heap", false, "", 0, 0, ""},
+		{"a.go:x:2: y escapes to heap", false, "", 0, 0, ""},
+	}
+	for _, tc := range cases {
+		file, line, col, msg, ok := parseEscapeLine(tc.in)
+		if ok != tc.ok {
+			t.Errorf("parseEscapeLine(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if file != tc.file || line != tc.line || col != tc.col || !strings.Contains(msg, tc.msgSub) {
+			t.Errorf("parseEscapeLine(%q) = (%s, %d, %d, %q)", tc.in, file, line, col, msg)
+		}
+	}
+}

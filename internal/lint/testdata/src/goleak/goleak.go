@@ -1,0 +1,140 @@
+// Package goleak is the fixture for the goleak analyzer: goroutine
+// launches with and without a visible termination edge.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type sampler struct {
+	stopc chan struct{}
+	out   chan int
+}
+
+// Stop is the sampler's termination edge: closing stopc unblocks the
+// loop's receive.
+func (s *sampler) Stop() { close(s.stopc) }
+
+// Runner's implementation lives behind the interface: launches of Run
+// are only auditable when a Stop counterpart is visible.
+type Runner interface {
+	Run()
+	Stop()
+}
+
+func work() {}
+
+// spin loops forever with no stop check; launching it leaks.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// LeakLiteral launches an endless literal with nothing to stop it.
+func LeakLiteral() {
+	go func() { // want `goroutine has no visible termination edge`
+		for {
+			work()
+		}
+	}()
+}
+
+// LeakNamed launches a named same-package function whose body has no
+// termination edge either.
+func LeakNamed() {
+	go spin() // want `goroutine has no visible termination edge`
+}
+
+// LeakInvisible launches an interface method with no Stop/Close/Shutdown
+// counterpart anywhere in the package for this value.
+func LeakInvisible(r Runner) {
+	go r.Run() // want `goroutine body is not visible from this package`
+}
+
+// LeakTicker blocks on time.Ticker.C forever. The ticker's channel does
+// not count as a termination edge: Ticker.Stop does not close C or
+// unblock a pending receive.
+func LeakTicker() {
+	t := time.NewTicker(time.Second)
+	go func() { // want `goroutine has no visible termination edge`
+		for {
+			<-t.C
+			work()
+		}
+	}()
+}
+
+// LeakDeadEdge has a stop receive in the body, but only after an
+// infinite loop: the edge is unreachable, so it convinces nobody.
+func LeakDeadEdge(s *sampler) {
+	go func() { // want `goroutine has no visible termination edge`
+		for {
+			work()
+		}
+		<-s.stopc
+	}()
+}
+
+// CtxSelect stops via a ctx.Done select arm: clean.
+func CtxSelect(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				work()
+				_ = v
+			}
+		}
+	}()
+}
+
+// RangeClosed ranges over a channel this package closes: the feeder's
+// close() is the termination edge.
+func RangeClosed(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+			work()
+		}
+	}()
+	close(jobs)
+}
+
+// StopChannel receives from a field of a package-declared struct with a
+// Stop method: the sampler shape, clean.
+func StopChannel(s *sampler) {
+	go func() {
+		for {
+			select {
+			case <-s.stopc:
+				return
+			case s.out <- 1:
+			}
+		}
+	}()
+}
+
+// WaitJoined calls Done on a WaitGroup this package Waits on: clean.
+func WaitJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// StopManaged launches an invisible body whose target value has a Stop
+// counterpart in this package: the Serve/Shutdown pair shape, clean.
+func StopManaged(r Runner) {
+	go r.Run()
+	defer r.Stop()
+}

@@ -1,0 +1,148 @@
+// Package lockbalance is the fixture for the flow-aware lockbalance
+// analyzer: leaked locks on some path out, blocking operations under a
+// held lock, and non-reentrant double acquisition.
+package lockbalance
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	state   int
+	updates chan int
+}
+
+// LeakOnErrorPath unlocks on the happy path only: the early return
+// leaves the mutex held.
+func (s *server) LeakOnErrorPath(fail bool) int {
+	s.mu.Lock() // want `s\.mu is locked here but not released on every path out of LeakOnErrorPath`
+	if fail {
+		return -1
+	}
+	v := s.state
+	s.mu.Unlock()
+	return v
+}
+
+// LeakAlways never unlocks at all.
+func (s *server) LeakAlways() {
+	s.mu.Lock() // want `s\.mu is locked here but not released on every path out of LeakAlways`
+	s.state++
+}
+
+// SendUnderLock blocks on a channel send while holding the mutex: every
+// other contender stalls behind a send nobody may ever drain.
+func (s *server) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updates <- v // want `s\.mu is held across this blocking operation`
+}
+
+// SleepUnderLock holds the mutex across time.Sleep.
+func (s *server) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `s\.mu is held across this blocking operation`
+	s.mu.Unlock()
+}
+
+// SelectUnderLock holds the mutex across a blocking select (no default
+// clause: the receive arm is a real block point).
+func (s *server) SelectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.updates: // want `s\.mu is held across this blocking operation`
+		s.state = v
+	}
+}
+
+// DoubleLock re-acquires a mutex already held on the same path:
+// sync.Mutex is not reentrant, so this self-deadlocks.
+func (s *server) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock: s\.mu may already be held`
+	s.state++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// UpgradeDeadlock write-locks an RWMutex whose read lock may be held:
+// the writer waits for the reader that is itself.
+func (s *server) UpgradeDeadlock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.rw.Lock() // want `s\.rw\.Lock: s\.rw may already be held`
+	v := s.state
+	s.rw.Unlock()
+	return v
+}
+
+// BranchBalanced unlocks on both paths: clean.
+func (s *server) BranchBalanced(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return -1
+	}
+	v := s.state
+	s.mu.Unlock()
+	return v
+}
+
+// DeferBalanced releases via defer on every path, including early
+// returns: clean.
+func (s *server) DeferBalanced(fail bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return -1
+	}
+	return s.state
+}
+
+// PanicGuardAllowed panics while holding the lock: a deliberate crash,
+// not a leak — panic exits are exempt from the balance rule.
+func (s *server) PanicGuardAllowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state < 0 {
+		panic("lockbalance fixture: negative state")
+	}
+	s.state++
+}
+
+// RepeatedRLockAllowed takes the read lock twice: legal for RWMutex
+// readers, not flagged.
+func (s *server) RepeatedRLockAllowed() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.rw.RLock()
+	v := s.state
+	s.rw.RUnlock()
+	return v
+}
+
+// NonBlockingSelectAllowed drains under the lock through a select with a
+// default clause: it cannot block, so holding the mutex is fine.
+func (s *server) NonBlockingSelectAllowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.updates:
+		s.state = v
+	default:
+	}
+}
+
+// LoopBalanced locks and unlocks inside each iteration: the state at the
+// loop head is lock-free on every path, clean.
+func (s *server) LoopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.state++
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,26 @@
+// Package clean is the escape-free counterpart of the noalloc fixture.
+// TestNoAllocDetectsIntroducedEscape copies it into a scratch module,
+// verifies the analyzer is silent, then introduces a deliberate escape
+// and verifies the analyzer fails.
+package clean
+
+// Dot is a hot-path-shaped kernel: pure index arithmetic over
+// caller-owned slices, no allocation.
+//
+//lint:hotpath
+func Dot(a, b []float64) float64 {
+	var acc float64
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return acc
+}
+
+// Scale mutates in place, allocation-free.
+//
+//lint:hotpath
+func Scale(v []float64, k float64) {
+	for i := range v {
+		v[i] *= k
+	}
+}

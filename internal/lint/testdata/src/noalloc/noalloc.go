@@ -1,0 +1,82 @@
+// Package noalloc is the fixture for the noalloc analyzer: functions
+// annotated //lint:hotpath that contain deliberate heap escapes, checked
+// against real `go build -gcflags=-m` output.
+package noalloc
+
+import "fmt"
+
+// sinkPtr keeps escaping pointers alive so the compiler cannot optimize
+// the escapes away.
+var sinkPtr *int
+
+// sinkSlice pins escaping slices.
+var sinkSlice []float64
+
+// sinkFn pins escaping closures.
+var sinkFn func() int
+
+// EscapePointer returns the address of a local: x is moved to the heap.
+//
+//lint:hotpath
+func EscapePointer(n int) *int {
+	x := n // want `heap escape in //lint:hotpath function EscapePointer: moved to heap: x`
+	return &x
+}
+
+// EscapeMake builds a slice that outlives the frame through the package
+// sink.
+//
+//lint:hotpath
+func EscapeMake(n int) {
+	buf := make([]float64, n) // want `heap escape in //lint:hotpath function EscapeMake`
+	sinkSlice = buf
+}
+
+// EscapeSprintf boxes its argument into an interface for fmt: the
+// classic accidental hot-path allocation.
+//
+//lint:hotpath
+func EscapeSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `heap escape in //lint:hotpath function EscapeSprintf`
+}
+
+// EscapeClosure captures a local by reference in a closure stored past
+// the call.
+//
+//lint:hotpath
+func EscapeClosure(n int) {
+	total := n            // want `heap escape in //lint:hotpath function EscapeClosure: moved to heap: total`
+	sinkFn = func() int { // want `heap escape in //lint:hotpath function EscapeClosure`
+		total++
+		return total
+	}
+}
+
+// EscapeStore writes a fresh allocation into the package-level sink.
+//
+//lint:hotpath
+func EscapeStore(n int) {
+	p := new(int) // want `heap escape in //lint:hotpath function EscapeStore`
+	*p = n
+	sinkPtr = p
+}
+
+// CleanAccumulate is annotated and escape-free: index arithmetic over
+// caller-owned slices allocates nothing.
+//
+//lint:hotpath
+func CleanAccumulate(dst, src []float64) float64 {
+	var acc float64
+	for i := range src {
+		dst[i] += src[i]
+		acc += dst[i]
+	}
+	return acc
+}
+
+// UnannotatedEscape escapes freely: without //lint:hotpath the analyzer
+// has no opinion.
+func UnannotatedEscape(n int) *int {
+	y := n
+	return &y
+}

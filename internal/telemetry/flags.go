@@ -233,6 +233,9 @@ func (f *Flags) listenAndServe(ctx context.Context, addr string, mux *http.Serve
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	f.servers = append(f.servers, srv)
+	// Serve goroutine. Termination edge: srv.Shutdown (from the waiter
+	// goroutine below, on ctx cancellation, or from Flags.Close) makes
+	// Serve return ErrServerClosed.
 	go func() {
 		// Serve returns http.ErrServerClosed on shutdown; anything else
 		// means the server died mid-run, which is worth a warning but not
@@ -241,6 +244,9 @@ func (f *Flags) listenAndServe(ctx context.Context, addr string, mux *http.Serve
 			Log().Warn("observability server stopped", "addr", ln.Addr(), "err", err)
 		}
 	}()
+	// Shutdown waiter. Termination edge: the ctx.Done receive — it blocks
+	// only until the run context is cancelled, then shuts the server down
+	// and exits.
 	go func() {
 		<-ctx.Done()
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -289,6 +295,9 @@ func (f *Flags) startProgressPrinter(ctx context.Context) {
 	}
 	f.progStop = make(chan struct{})
 	f.progDone = make(chan struct{})
+	// Printer goroutine. Termination edges: the f.progStop and ctx.Done
+	// select arms in the loop body — Close closes progStop and joins on
+	// progDone, so the printer never outlives the Flags.
 	go func() {
 		defer close(f.progDone)
 		tick := time.NewTicker(interval)

@@ -266,6 +266,9 @@ func (s *ResourceSampler) Start(ctx context.Context, cfg ResourceConfig) error {
 		}
 		s.startCPUProfile()
 	}
+	// Sampling goroutine. Termination edges: loop selects on s.stop
+	// (closed by Stop, which then joins on s.done) and on ctx.Done, so
+	// cancelling the run context or stopping the sampler both end it.
 	go s.loop(ctx)
 	return nil
 }
